@@ -1,0 +1,73 @@
+// CES ablation: the sigma buffer and the ξ trend thresholds trade energy
+// saving against wake-up churn and job impact (DESIGN.md design-choice
+// callout). Sweeps on Earth, September 1-21.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "common/text_table.h"
+
+int main() {
+  using helios::TextTable;
+  namespace bench = helios::bench;
+  namespace core = helios::core;
+  namespace sim = helios::sim;
+  namespace forecast = helios::forecast;
+
+  bench::print_header("Ablation: CES",
+                      "sigma / ξ sweeps on Earth (Sep 1-21)");
+
+  const auto& traces = bench::operated_helios_traces();
+  const auto it = std::find_if(traces.begin(), traces.end(), [](const auto& t) {
+    return t.cluster().name == "Earth";
+  });
+  const auto begin = helios::from_civil(2020, 9, 1);
+  const auto end = helios::from_civil(2020, 9, 22);
+
+  sim::SimConfig cfg;
+  const auto whole = sim::ClusterSimulator(it->cluster(), cfg).run(*it);
+  const auto history = whole.busy_nodes.between(whole.busy_nodes.begin, begin);
+
+  auto replay = [&](core::CesConfig cc) {
+    core::CesService svc(cc, std::make_unique<forecast::GBDTForecaster>());
+    svc.fit(history);
+    return svc.replay(*it, history, begin, end);
+  };
+
+  TextTable ts({"sigma", "avg DRS nodes", "wake-ups/day", "affected jobs",
+                "node util (CES)", "saved kWh"});
+  for (int sigma : {1, 2, 4, 8}) {
+    core::CesConfig cc;
+    cc.sigma = sigma;
+    const auto r = replay(cc);
+    ts.add_row({TextTable::cell(static_cast<std::int64_t>(sigma)),
+                TextTable::cell(r.avg_drs_nodes, 1),
+                TextTable::cell(r.daily_wakeups, 1),
+                TextTable::cell(r.affected_jobs),
+                TextTable::cell_pct(r.node_util_ces),
+                TextTable::cell(r.saved_kwh, 0)});
+  }
+  std::printf("sigma sweep (xi = 0.5)\n%s\n", ts.str().c_str());
+
+  TextTable tx({"xi (H=P)", "avg DRS nodes", "wake-ups/day", "affected jobs",
+                "node util (CES)", "saved kWh"});
+  for (double xi : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    core::CesConfig cc;
+    cc.xi_h = xi;
+    cc.xi_p = xi;
+    const auto r = replay(cc);
+    tx.add_row({TextTable::cell(xi, 1), TextTable::cell(r.avg_drs_nodes, 1),
+                TextTable::cell(r.daily_wakeups, 1),
+                TextTable::cell(r.affected_jobs),
+                TextTable::cell_pct(r.node_util_ces),
+                TextTable::cell(r.saved_kwh, 0)});
+  }
+  std::printf("trend-threshold sweep (sigma = 4)\n%s\n", tx.str().c_str());
+
+  bench::print_expectation("larger sigma", "fewer affected jobs, less saving",
+                           "see sigma sweep");
+  bench::print_expectation("larger xi", "fewer sleep decisions -> less saving",
+                           "see xi sweep");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// QSSF ablations (§4.2 design choices):
+//   1. merge coefficient λ sweep — rolling-only (λ=1) vs GBDT-only (λ=0) vs
+//      merged estimates, measured by prediction quality and end-to-end JCT;
+//   2. prediction quality of the deployed configuration (Spearman rank
+//      correlation between predicted and actual GPU time — ordering is what
+//      the scheduler consumes).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/text_table.h"
+#include "stats/correlation.h"
+
+int main() {
+  using helios::TextTable;
+  namespace bench = helios::bench;
+  namespace core = helios::core;
+  namespace sim = helios::sim;
+
+  bench::print_header("Ablation: QSSF",
+                      "λ merge-coefficient sweep on Venus (September)");
+
+  const auto& traces = bench::helios_traces();
+  const auto it = std::find_if(traces.begin(), traces.end(), [](const auto& t) {
+    return t.cluster().name == "Venus";
+  });
+  const auto train = it->between(0, helios::from_civil(2020, 9, 1));
+  const auto eval =
+      it->between(helios::from_civil(2020, 9, 1), helios::trace::helios_trace_end());
+
+  sim::SimConfig fifo_cfg;
+  const auto fifo = sim::ClusterSimulator(eval.cluster(), fifo_cfg).run(eval);
+
+  TextTable table({"lambda", "spearman(pred, actual)", "avg JCT (s)",
+                   "avg queuing (s)", "JCT vs FIFO"});
+  for (double lambda : {0.0, 0.25, 0.45, 0.75, 1.0}) {
+    core::QssfConfig cfg;
+    cfg.lambda = lambda;
+    core::QssfService svc(cfg);
+    svc.fit(train);
+    core::OnlinePriorityEvaluator evaluator(svc, eval);
+    const double rho = helios::stats::spearman(evaluator.predicted_gpu_time(),
+                                               evaluator.actual_gpu_time());
+    sim::SimConfig sc;
+    sc.policy = sim::SchedulerPolicy::kQssf;
+    sc.priority_fn = evaluator.as_priority_fn();
+    const auto r = sim::ClusterSimulator(eval.cluster(), sc).run(eval);
+    table.add_row({TextTable::cell(lambda, 2), TextTable::cell(rho, 3),
+                   TextTable::cell(r.avg_jct, 0),
+                   TextTable::cell(r.avg_queue_delay, 0),
+                   TextTable::cell(fifo.avg_jct / std::max(1.0, r.avg_jct), 2) + "x"});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("FIFO reference: avg JCT %.0f s, avg queuing %.0f s\n\n",
+              fifo.avg_jct, fifo.avg_queue_delay);
+
+  // Limited-information variant (paper §6.2 future work): no job names.
+  {
+    core::QssfConfig cfg;
+    cfg.use_names = false;
+    core::QssfService svc(cfg);
+    svc.fit(train);
+    core::OnlinePriorityEvaluator evaluator(svc, eval);
+    const double rho = helios::stats::spearman(evaluator.predicted_gpu_time(),
+                                               evaluator.actual_gpu_time());
+    sim::SimConfig sc;
+    sc.policy = sim::SchedulerPolicy::kQssf;
+    sc.priority_fn = evaluator.as_priority_fn();
+    const auto r = sim::ClusterSimulator(eval.cluster(), sc).run(eval);
+    std::printf("no-names QSSF (user/VC/demand/calendar only): "
+                "spearman %.3f, avg JCT %.0f s (%.2fx vs FIFO)\n\n",
+                rho, r.avg_jct, fifo.avg_jct / std::max(1.0, r.avg_jct));
+  }
+
+  bench::print_expectation("merged estimator is competitive",
+                           "paper merges both (λ in (0,1))",
+                           "compare middle rows against extremes");
+  bench::print_expectation("name features help but are not essential",
+                           "future-work robustness", "see no-names row");
+  return 0;
+}

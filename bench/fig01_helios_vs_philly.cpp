@@ -1,0 +1,65 @@
+// Figure 1: (a) CDFs of GPU job duration, Helios (all clusters pooled) vs
+// Philly; (b) distribution of GPU time by final job status.
+#include <cstdio>
+
+#include "analysis/job_stats.h"
+#include "bench_common.h"
+#include "common/text_table.h"
+#include "stats/ecdf.h"
+
+int main() {
+  using helios::TextTable;
+  namespace bench = helios::bench;
+  namespace analysis = helios::analysis;
+  namespace stats = helios::stats;
+
+  bench::print_header("Figure 1",
+                      "GPU job duration CDFs and GPU time by final status, "
+                      "Helios vs Philly");
+
+  // (a) pooled Helios duration sample vs Philly.
+  std::vector<double> helios_durations;
+  for (const auto& t : bench::helios_traces()) {
+    for (const auto& j : t.jobs()) {
+      if (j.is_gpu_job()) helios_durations.push_back(j.duration);
+    }
+  }
+  const stats::Ecdf helios_cdf(std::move(helios_durations));
+  const stats::Ecdf philly_cdf =
+      analysis::duration_cdf(bench::philly_trace(), /*gpu_jobs=*/true);
+
+  TextTable cdf({"duration (s)", "Helios CDF", "Philly CDF"});
+  for (double x : stats::log_space_points(10.0, 1e7, 13)) {
+    cdf.add_row({TextTable::cell(x, 0), TextTable::cell_pct(helios_cdf(x)),
+                 TextTable::cell_pct(philly_cdf(x))});
+  }
+  std::printf("(a) duration CDFs\n%s\n", cdf.str().c_str());
+  bench::print_expectation("Philly stochastically longer than Helios",
+                           "Philly curve below Helios",
+                           helios_cdf(1000.0) > philly_cdf(1000.0) ? "yes" : "NO");
+
+  // (b) GPU time by final status.
+  std::array<double, 3> helios_time{};
+  double helios_total = 0.0;
+  for (const auto& t : bench::helios_traces()) {
+    for (const auto& j : t.jobs()) {
+      if (!j.is_gpu_job()) continue;
+      helios_time[static_cast<std::size_t>(j.state)] += j.gpu_time();
+      helios_total += j.gpu_time();
+    }
+  }
+  for (auto& v : helios_time) v /= helios_total;
+  const auto philly_time = analysis::gpu_time_by_state(bench::philly_trace());
+
+  TextTable status({"GPU time share", "Completed", "Canceled", "Failed"});
+  status.add_row({"Helios (measured)", TextTable::cell_pct(helios_time[0]),
+                  TextTable::cell_pct(helios_time[1]),
+                  TextTable::cell_pct(helios_time[2])});
+  status.add_row({"Helios (paper)", "51.3%", "39.4%", "9.3%"});
+  status.add_row({"Philly (measured)", TextTable::cell_pct(philly_time[0]),
+                  TextTable::cell_pct(philly_time[1]),
+                  TextTable::cell_pct(philly_time[2])});
+  status.add_row({"Philly (paper)", "31.3%", "32.6%", "36.1%"});
+  std::printf("(b) GPU time by final status\n%s\n", status.str().c_str());
+  return 0;
+}

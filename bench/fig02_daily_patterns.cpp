@@ -1,0 +1,58 @@
+// Figure 2: daily pattern of cluster usage — (a) hourly average utilization,
+// (b) hourly average GPU job submission rate, per cluster.
+#include <cstdio>
+
+#include "analysis/cluster_stats.h"
+#include "bench_common.h"
+#include "common/text_table.h"
+
+int main() {
+  using helios::TextTable;
+  namespace bench = helios::bench;
+  namespace analysis = helios::analysis;
+
+  bench::print_header("Figure 2",
+                      "Hourly average utilization and GPU job submission rate",
+                      "trace operated under FIFO to assign start times");
+
+  const auto begin = helios::trace::helios_trace_begin();
+  const auto end = helios::trace::helios_trace_end();
+
+  std::vector<std::array<double, 24>> util;
+  std::vector<std::array<double, 24>> subs;
+  std::vector<std::string> names;
+  for (const auto& t : bench::operated_helios_traces()) {
+    const auto series = analysis::utilization_series(t, begin, end, 3600);
+    util.push_back(analysis::hourly_profile(series));
+    subs.push_back(analysis::hourly_submission_rate(t, begin, end));
+    names.push_back(t.cluster().name);
+  }
+
+  TextTable ta({"hour", names[0] + " util", names[1] + " util",
+                names[2] + " util", names[3] + " util"});
+  TextTable tb({"hour", names[0] + " subs/h", names[1] + " subs/h",
+                names[2] + " subs/h", names[3] + " subs/h"});
+  for (int h = 0; h < 24; ++h) {
+    std::vector<std::string> ra = {TextTable::cell(static_cast<std::int64_t>(h))};
+    std::vector<std::string> rb = {TextTable::cell(static_cast<std::int64_t>(h))};
+    for (std::size_t c = 0; c < util.size(); ++c) {
+      ra.push_back(TextTable::cell_pct(util[c][static_cast<std::size_t>(h)]));
+      rb.push_back(TextTable::cell(subs[c][static_cast<std::size_t>(h)], 1));
+    }
+    ta.add_row(std::move(ra));
+    tb.add_row(std::move(rb));
+  }
+  std::printf("(a) hourly average cluster utilization\n%s\n", ta.str().c_str());
+  std::printf("(b) hourly average GPU job submissions\n%s\n", tb.str().c_str());
+
+  // Shape checks from §3.1.1.
+  for (std::size_t c = 0; c < util.size(); ++c) {
+    double day = 0.0;
+    double night = 0.0;
+    for (int h = 10; h < 18; ++h) day += util[c][static_cast<std::size_t>(h)] / 8.0;
+    for (int h = 0; h < 8; ++h) night += util[c][static_cast<std::size_t>(h)] / 8.0;
+    bench::print_expectation(names[c] + " night dip (day - night)", "5~8%",
+                             TextTable::cell_pct(day - night));
+  }
+  return 0;
+}

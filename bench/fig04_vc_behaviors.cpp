@@ -1,0 +1,69 @@
+// Figure 4: VC behaviours in Earth during May — utilization box stats of the
+// top-10 largest VCs, average requested GPUs, and min-max-normalised average
+// job duration / queuing delay per VC.
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/cluster_stats.h"
+#include "bench_common.h"
+#include "common/text_table.h"
+#include "stats/correlation.h"
+
+int main() {
+  using helios::TextTable;
+  namespace bench = helios::bench;
+  namespace analysis = helios::analysis;
+
+  bench::print_header("Figure 4",
+                      "Top-10 VC utilization boxplots and per-VC queuing vs "
+                      "duration (Earth, May)");
+
+  const auto& traces = bench::operated_helios_traces();
+  const auto it = std::find_if(traces.begin(), traces.end(), [](const auto& t) {
+    return t.cluster().name == "Earth";
+  });
+  const auto& earth = *it;
+  const auto begin = helios::from_civil(2020, 5, 1);
+  const auto end = helios::from_civil(2020, 6, 1);
+  auto behaviors = analysis::vc_behaviors(earth, begin, end);
+  const std::size_t top = std::min<std::size_t>(10, behaviors.size());
+
+  double dur_max = 0.0;
+  double delay_max = 0.0;
+  for (std::size_t i = 0; i < top; ++i) {
+    dur_max = std::max(dur_max, behaviors[i].avg_duration);
+    delay_max = std::max(delay_max, behaviors[i].avg_queue_delay);
+  }
+
+  TextTable table({"VC", "GPUs", "util Q1", "median", "Q3", "avg GPUs/job",
+                   "norm duration", "norm queuing", "jobs"});
+  std::vector<double> med_util;
+  std::vector<double> avg_req;
+  std::vector<double> durs;
+  std::vector<double> delays;
+  for (std::size_t i = 0; i < top; ++i) {
+    const auto& b = behaviors[i];
+    table.add_row(
+        {b.name, TextTable::cell(static_cast<std::int64_t>(b.gpus)),
+         TextTable::cell_pct(b.utilization.q1),
+         TextTable::cell_pct(b.utilization.median),
+         TextTable::cell_pct(b.utilization.q3),
+         TextTable::cell(b.avg_gpu_request, 1),
+         TextTable::cell(dur_max > 0 ? b.avg_duration / dur_max : 0.0, 2),
+         TextTable::cell(delay_max > 0 ? b.avg_queue_delay / delay_max : 0.0, 2),
+         TextTable::cell(b.jobs)});
+    med_util.push_back(b.utilization.median);
+    avg_req.push_back(b.avg_gpu_request);
+    durs.push_back(b.avg_duration);
+    delays.push_back(b.avg_queue_delay);
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  bench::print_expectation(
+      "VC utilization ~ avg GPU demand (Spearman)", "positive correlation",
+      TextTable::cell(helios::stats::spearman(med_util, avg_req), 2));
+  bench::print_expectation(
+      "queuing delay ~ job duration (Spearman)", "roughly proportional",
+      TextTable::cell(helios::stats::spearman(durs, delays), 2));
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 5: CDFs of (a) GPU and (b) CPU job durations, per cluster.
+#include <cstdio>
+
+#include "analysis/job_stats.h"
+#include "bench_common.h"
+#include "common/text_table.h"
+#include "stats/ecdf.h"
+
+int main() {
+  using helios::TextTable;
+  namespace bench = helios::bench;
+  namespace analysis = helios::analysis;
+  namespace stats = helios::stats;
+
+  bench::print_header("Figure 5", "GPU and CPU job duration CDFs per cluster");
+
+  const auto& traces = bench::operated_helios_traces();
+  for (bool gpu : {true, false}) {
+    std::vector<stats::Ecdf> cdfs;
+    std::vector<std::string> names;
+    for (const auto& t : traces) {
+      cdfs.push_back(analysis::duration_cdf(t, gpu));
+      names.push_back(t.cluster().name);
+    }
+    TextTable table({"duration (s)", names[0], names[1], names[2], names[3]});
+    for (double x : stats::log_space_points(1.0, 1e6, 13)) {
+      std::vector<std::string> row = {TextTable::cell(x, 0)};
+      for (const auto& cdf : cdfs) row.push_back(TextTable::cell_pct(cdf(x)));
+      table.add_row(std::move(row));
+    }
+    std::printf("(%c) %s job durations\n%s\n", gpu ? 'a' : 'b',
+                gpu ? "GPU" : "CPU", table.str().c_str());
+  }
+
+  bench::print_expectation("Earth CPU jobs ~1s", "~90% at 1 second",
+                           "see Earth column in (b)");
+  bench::print_expectation("GPU jobs < 1000s", "~75%", "see (a) row 1000");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 6: CDFs of job GPU demand weighted by (a) job count and (b) GPU
+// time, per cluster.
+#include <cstdio>
+#include <map>
+
+#include "analysis/job_stats.h"
+#include "bench_common.h"
+#include "common/text_table.h"
+
+int main() {
+  using helios::TextTable;
+  namespace bench = helios::bench;
+  namespace analysis = helios::analysis;
+
+  bench::print_header("Figure 6",
+                      "Job-size distribution by job count and by GPU time");
+
+  const auto& traces = bench::operated_helios_traces();
+  // Collect CDF values at each power-of-two size per cluster.
+  std::vector<std::map<int, std::pair<double, double>>> cdfs;  // gpus -> (job, time)
+  std::vector<std::string> names;
+  int max_size = 1;
+  for (const auto& t : traces) {
+    std::map<int, std::pair<double, double>> m;
+    for (const auto& b : analysis::job_size_distribution(t)) {
+      m[b.gpus] = {b.job_cdf, b.gpu_time_cdf};
+      max_size = std::max(max_size, b.gpus);
+    }
+    cdfs.push_back(std::move(m));
+    names.push_back(t.cluster().name);
+  }
+
+  for (int part = 0; part < 2; ++part) {
+    TextTable table({"GPUs <=", names[0], names[1], names[2], names[3]});
+    for (int g = 1; g <= max_size; g *= 2) {
+      std::vector<std::string> row = {TextTable::cell(static_cast<std::int64_t>(g))};
+      for (const auto& m : cdfs) {
+        double v = 0.0;
+        for (const auto& [gpus, cdf] : m) {
+          if (gpus <= g) v = part == 0 ? cdf.first : cdf.second;
+        }
+        row.push_back(TextTable::cell_pct(v));
+      }
+      table.add_row(std::move(row));
+    }
+    std::printf("(%c) CDF by %s\n%s\n", part == 0 ? 'a' : 'b',
+                part == 0 ? "number of jobs" : "GPU time", table.str().c_str());
+  }
+
+  bench::print_expectation(">=50% single-GPU jobs (Earth ~90%)",
+                           "row 1 of (a) >= 50%", "see above");
+  bench::print_expectation("single-GPU share of GPU time", "3~12%",
+                           "row 1 of (b)");
+  bench::print_expectation(">=8-GPU jobs' GPU time", "~60%",
+                           "100% minus row 4 of (b)");
+  return 0;
+}

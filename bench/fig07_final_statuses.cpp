@@ -1,0 +1,70 @@
+// Figure 7: (a) final statuses of CPU vs GPU jobs; (b) final statuses by GPU
+// demand (pooled across the four Helios clusters).
+#include <cstdio>
+#include <map>
+
+#include "analysis/job_stats.h"
+#include "bench_common.h"
+#include "common/text_table.h"
+
+int main() {
+  using helios::TextTable;
+  namespace bench = helios::bench;
+  namespace analysis = helios::analysis;
+  using helios::trace::JobState;
+
+  bench::print_header("Figure 7", "Distribution of jobs by final status");
+
+  // (a) pooled CPU vs GPU status fractions.
+  std::array<double, 3> gpu{};
+  std::array<double, 3> cpu{};
+  double gpu_n = 0.0;
+  double cpu_n = 0.0;
+  for (const auto& t : bench::operated_helios_traces()) {
+    for (const auto& j : t.jobs()) {
+      auto& a = j.is_gpu_job() ? gpu : cpu;
+      auto& n = j.is_gpu_job() ? gpu_n : cpu_n;
+      ++a[static_cast<std::size_t>(j.state)];
+      ++n;
+    }
+  }
+  for (auto& v : gpu) v /= gpu_n;
+  for (auto& v : cpu) v /= cpu_n;
+
+  TextTable ta({"Job type", "Completed", "Canceled", "Failed"});
+  ta.add_row({"GPU (measured)", TextTable::cell_pct(gpu[0]),
+              TextTable::cell_pct(gpu[1]), TextTable::cell_pct(gpu[2])});
+  ta.add_row({"GPU (paper)", "62.4%", "22.1%", "15.5%"});
+  ta.add_row({"CPU (measured)", TextTable::cell_pct(cpu[0]),
+              TextTable::cell_pct(cpu[1]), TextTable::cell_pct(cpu[2])});
+  ta.add_row({"CPU (paper)", "90.9%", "3.0%", "6.1%"});
+  std::printf("(a) CPU vs GPU final statuses\n%s\n", ta.str().c_str());
+
+  // (b) pooled status by GPU demand.
+  std::map<int, std::array<double, 4>> by_size;  // gpus -> c/x/f/n
+  for (const auto& t : bench::operated_helios_traces()) {
+    for (const auto& s : analysis::status_by_gpu_count(t)) {
+      auto& a = by_size[s.gpus];
+      a[0] += s.completed * static_cast<double>(s.jobs);
+      a[1] += s.canceled * static_cast<double>(s.jobs);
+      a[2] += s.failed * static_cast<double>(s.jobs);
+      a[3] += static_cast<double>(s.jobs);
+    }
+  }
+  TextTable tb({"GPUs", "Completed", "Canceled", "Failed", "jobs"});
+  for (const auto& [gpus, a] : by_size) {
+    if (a[3] < 20) continue;  // skip statistically empty buckets
+    tb.add_row({TextTable::cell(static_cast<std::int64_t>(gpus)),
+                TextTable::cell_pct(a[0] / a[3]), TextTable::cell_pct(a[1] / a[3]),
+                TextTable::cell_pct(a[2] / a[3]),
+                TextTable::cell(static_cast<std::int64_t>(a[3]))});
+  }
+  std::printf("(b) final status by GPU demand\n%s\n", tb.str().c_str());
+
+  bench::print_expectation("completion falls with size, 2-GPU bump",
+                           "monotone decrease, >=64 GPUs <25% complete",
+                           "see (b)");
+  bench::print_expectation("large jobs mostly canceled", "~70% at >=64 GPUs",
+                           "see (b) canceled column");
+  return 0;
+}

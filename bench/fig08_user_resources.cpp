@@ -1,0 +1,42 @@
+// Figure 8: CDFs of per-user (a) GPU time and (b) CPU time consumption.
+#include <cstdio>
+
+#include "analysis/user_stats.h"
+#include "bench_common.h"
+#include "common/text_table.h"
+
+int main() {
+  using helios::TextTable;
+  namespace bench = helios::bench;
+  namespace analysis = helios::analysis;
+
+  bench::print_header("Figure 8", "User-level resource concentration");
+
+  const auto& traces = bench::operated_helios_traces();
+  TextTable table({"Cluster", "users", "top 5% GPU time", "top 10% GPU time",
+                   "top 5% CPU time", "CPU users"});
+  for (const auto& t : traces) {
+    const auto users = analysis::user_aggregates(t);
+    std::vector<double> gpu_time;
+    std::vector<double> cpu_time;
+    std::int64_t cpu_users = 0;
+    for (const auto& u : users) {
+      gpu_time.push_back(u.gpu_time);
+      cpu_time.push_back(u.cpu_time);
+      cpu_users += u.cpu_jobs > 0;
+    }
+    table.add_row({t.cluster().name,
+                   TextTable::cell(static_cast<std::int64_t>(users.size())),
+                   TextTable::cell_pct(analysis::top_share(gpu_time, 0.05)),
+                   TextTable::cell_pct(analysis::top_share(gpu_time, 0.10)),
+                   TextTable::cell_pct(analysis::top_share(cpu_time, 0.05)),
+                   TextTable::cell(cpu_users)});
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  bench::print_expectation("top 5% users' GPU time", "45~60%", "column 3");
+  bench::print_expectation("top 5% users' CPU time", ">90%", "column 5");
+  bench::print_expectation("users running CPU jobs", "~25% of users",
+                           "column 6 vs column 2");
+  return 0;
+}

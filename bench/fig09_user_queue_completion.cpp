@@ -1,0 +1,57 @@
+// Figure 9: (a) CDFs of users by share of total GPU-job queuing delay;
+// (b) distribution of per-user GPU job completion rates.
+#include <cstdio>
+
+#include "analysis/user_stats.h"
+#include "bench_common.h"
+#include "common/text_table.h"
+#include "stats/histogram.h"
+
+int main() {
+  using helios::TextTable;
+  namespace bench = helios::bench;
+  namespace analysis = helios::analysis;
+
+  bench::print_header("Figure 9",
+                      "User queuing-delay concentration and completion rates",
+                      "queuing delays from the FIFO-operated schedule");
+
+  const auto& traces = bench::operated_helios_traces();
+
+  TextTable ta({"Cluster", "top 1% users' queuing", "top 5% users' queuing",
+                "top 25% users' queuing"});
+  for (const auto& t : traces) {
+    const auto users = analysis::user_aggregates(t);
+    std::vector<double> delay;
+    for (const auto& u : users) delay.push_back(u.queue_delay);
+    ta.add_row({t.cluster().name,
+                TextTable::cell_pct(analysis::top_share(delay, 0.01)),
+                TextTable::cell_pct(analysis::top_share(delay, 0.05)),
+                TextTable::cell_pct(analysis::top_share(delay, 0.25))});
+  }
+  std::printf("(a) queuing-delay concentration across users\n%s\n",
+              ta.str().c_str());
+  bench::print_expectation("marquee users bear most queuing",
+                           "top 1% bear up to 70%+ (Uranus)", "column 2");
+
+  // (b) completion-rate histogram pooled across clusters.
+  helios::stats::Histogram hist(0.0, 1.0000001, 10);
+  for (const auto& t : traces) {
+    for (const auto& u : analysis::user_aggregates(t)) {
+      if (u.gpu_jobs >= 5) hist.add(u.completion_rate());
+    }
+  }
+  TextTable tb({"completion rate", "users", "fraction"});
+  for (std::size_t b = 0; b < hist.bins(); ++b) {
+    char label[32];
+    std::snprintf(label, sizeof label, "%.0f%%-%.0f%%", hist.bin_lo(b) * 100,
+                  hist.bin_hi(b) * 100);
+    tb.add_row({label, TextTable::cell(static_cast<std::int64_t>(hist.count(b))),
+                TextTable::cell_pct(hist.fraction(b))});
+  }
+  std::printf("(b) per-user GPU job completion rates (users with >=5 jobs)\n%s\n",
+              tb.str().c_str());
+  bench::print_expectation("completion rates are generally low",
+                           "mass well below 100%", "see histogram");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 11: JCT CDFs under FIFO / SJF / QSSF / SRTF for the September jobs
+// of each Helios cluster. QSSF's GBDT is trained on April-August.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/text_table.h"
+#include "stats/ecdf.h"
+
+int main() {
+  using helios::TextTable;
+  namespace bench = helios::bench;
+  namespace stats = helios::stats;
+
+  bench::print_header("Figure 11",
+                      "JCT CDFs for FIFO/SJF/QSSF/SRTF, September jobs",
+                      "QSSF trained on April-August; SJF/SRTF are oracles");
+
+  const auto train_end = helios::from_civil(2020, 9, 1);
+  const auto eval_end = helios::trace::helios_trace_end();
+
+  for (const auto& t : bench::helios_traces()) {
+    const auto study = bench::run_scheduler_study(t, train_end, eval_end);
+    const stats::Ecdf fifo(bench::jct_values(study.fifo));
+    const stats::Ecdf sjf(bench::jct_values(study.sjf));
+    const stats::Ecdf srtf(bench::jct_values(study.srtf));
+    const stats::Ecdf qssf(bench::jct_values(study.qssf));
+
+    TextTable table({"JCT (s)", "FIFO", "QSSF", "SJF", "SRTF"});
+    for (double x : stats::log_space_points(1.0, 1e6, 13)) {
+      table.add_row({TextTable::cell(x, 0), TextTable::cell_pct(fifo(x)),
+                     TextTable::cell_pct(qssf(x)), TextTable::cell_pct(sjf(x)),
+                     TextTable::cell_pct(srtf(x))});
+    }
+    std::printf("%s\n%s", t.cluster().name.c_str(), table.str().c_str());
+    bench::print_expectation(
+        "QSSF ~ SJF/SRTF, far above FIFO", "QSSF curve tracks the oracles",
+        "avg JCT: FIFO " + TextTable::cell(study.fifo.avg_jct, 0) + "s, QSSF " +
+            TextTable::cell(study.qssf.avg_jct, 0) + "s, SJF " +
+            TextTable::cell(study.sjf.avg_jct, 0) + "s");
+    std::printf("\n");
+  }
+  return 0;
+}

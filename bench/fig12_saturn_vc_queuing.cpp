@@ -1,0 +1,54 @@
+// Figure 12: average job queuing delay of the top-10 VCs (by FIFO queuing
+// delay) in Saturn, September, under the four schedulers.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "bench_common.h"
+#include "common/text_table.h"
+
+int main() {
+  using helios::TextTable;
+  namespace bench = helios::bench;
+
+  bench::print_header("Figure 12",
+                      "Average queuing delay of the top-10 VCs in Saturn "
+                      "(September)");
+
+  const auto& traces = bench::helios_traces();
+  const auto it = std::find_if(traces.begin(), traces.end(), [](const auto& t) {
+    return t.cluster().name == "Saturn";
+  });
+  const auto study = bench::run_scheduler_study(
+      *it, helios::from_civil(2020, 9, 1), helios::trace::helios_trace_end());
+
+  // Rank VCs by FIFO queuing delay.
+  std::vector<std::size_t> order(study.fifo.vc_stats.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return study.fifo.vc_stats[a].avg_queue_delay >
+           study.fifo.vc_stats[b].avg_queue_delay;
+  });
+
+  TextTable table({"VC", "GPUs", "jobs", "FIFO (s)", "QSSF (s)", "SJF (s)",
+                   "SRTF (s)"});
+  const std::size_t top = std::min<std::size_t>(10, order.size());
+  for (std::size_t i = 0; i < top; ++i) {
+    const std::size_t vi = order[i];
+    const auto& f = study.fifo.vc_stats[vi];
+    table.add_row({f.name, TextTable::cell(static_cast<std::int64_t>(f.gpus)),
+                   TextTable::cell(f.jobs), TextTable::cell(f.avg_queue_delay, 0),
+                   TextTable::cell(study.qssf.vc_stats[vi].avg_queue_delay, 0),
+                   TextTable::cell(study.sjf.vc_stats[vi].avg_queue_delay, 0),
+                   TextTable::cell(study.srtf.vc_stats[vi].avg_queue_delay, 0)});
+  }
+  table.add_row({"all", "-", "-", TextTable::cell(study.fifo.avg_queue_delay, 0),
+                 TextTable::cell(study.qssf.avg_queue_delay, 0),
+                 TextTable::cell(study.sjf.avg_queue_delay, 0),
+                 TextTable::cell(study.srtf.avg_queue_delay, 0)});
+  std::printf("%s\n", table.str().c_str());
+
+  bench::print_expectation("QSSF ~ SJF per VC, both far below FIFO",
+                           "QSSF almost identical to SJF", "compare columns");
+  return 0;
+}

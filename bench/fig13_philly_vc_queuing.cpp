@@ -1,0 +1,58 @@
+// Figure 13: average job queuing delay of the top-10 VCs in Philly
+// (October + November) under the four schedulers.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "bench_common.h"
+#include "common/text_table.h"
+
+int main() {
+  using helios::TextTable;
+  namespace bench = helios::bench;
+
+  bench::print_header(
+      "Figure 13",
+      "Average queuing delay of the top-10 VCs in Philly (Oct-Nov)",
+      "QSSF trained on the first Philly month, evaluated on Oct 15 - Nov 30");
+
+  // The Philly trace starts Oct 1; use the first two weeks as QSSF history
+  // (the paper instead assumed randomly perturbed priorities — our generator
+  // provides job names, so the full pipeline applies).
+  const auto& philly = bench::philly_trace();
+  const auto study =
+      bench::run_scheduler_study(philly, helios::from_civil(2017, 10, 15),
+                                 helios::from_civil(2017, 12, 1));
+
+  std::vector<std::size_t> order(study.fifo.vc_stats.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return study.fifo.vc_stats[a].avg_queue_delay >
+           study.fifo.vc_stats[b].avg_queue_delay;
+  });
+
+  TextTable table({"VC", "GPUs", "jobs", "FIFO (s)", "QSSF (s)", "SJF (s)",
+                   "SRTF (s)"});
+  const std::size_t top = std::min<std::size_t>(10, order.size());
+  for (std::size_t i = 0; i < top; ++i) {
+    const std::size_t vi = order[i];
+    const auto& f = study.fifo.vc_stats[vi];
+    table.add_row({f.name, TextTable::cell(static_cast<std::int64_t>(f.gpus)),
+                   TextTable::cell(f.jobs), TextTable::cell(f.avg_queue_delay, 0),
+                   TextTable::cell(study.qssf.vc_stats[vi].avg_queue_delay, 0),
+                   TextTable::cell(study.sjf.vc_stats[vi].avg_queue_delay, 0),
+                   TextTable::cell(study.srtf.vc_stats[vi].avg_queue_delay, 0)});
+  }
+  table.add_row({"all", "-", "-", TextTable::cell(study.fifo.avg_queue_delay, 0),
+                 TextTable::cell(study.qssf.avg_queue_delay, 0),
+                 TextTable::cell(study.sjf.avg_queue_delay, 0),
+                 TextTable::cell(study.srtf.avg_queue_delay, 0)});
+  std::printf("%s\n", table.str().c_str());
+
+  bench::print_expectation("QSSF brings large per-VC improvements on Philly",
+                           "~7.3x queuing improvement overall",
+                           TextTable::cell(study.fifo.avg_queue_delay /
+                                               std::max(1.0, study.qssf.avg_queue_delay),
+                                           1) + "x");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 14: node states in Earth, September 1-21 — total nodes, running
+// (busy) nodes, the forecaster's prediction, and the active (powered) nodes
+// kept by the CES service.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/text_table.h"
+
+int main() {
+  using helios::TextTable;
+  namespace bench = helios::bench;
+
+  bench::print_header("Figure 14",
+                      "Earth node states under CES, Sep 1-21",
+                      "GBDT node forecaster trained on the Apr-Aug series");
+
+  const auto& traces = bench::operated_helios_traces();
+  const auto it = std::find_if(traces.begin(), traces.end(), [](const auto& t) {
+    return t.cluster().name == "Earth";
+  });
+  const auto begin = helios::from_civil(2020, 9, 1);
+  const auto end = helios::from_civil(2020, 9, 22);
+  const auto study = bench::run_ces_study(*it, begin, end,
+                                          /*include_vanilla=*/false);
+  const auto& r = study.ces;
+
+  // Print a 6-hour-resolution view of the four curves.
+  TextTable table({"time", "total", "running", "predicted", "active (CES)"});
+  const std::size_t stride =
+      std::max<std::size_t>(1, static_cast<std::size_t>(6 * 3600 / r.running_nodes.step));
+  for (std::size_t i = 0; i < r.running_nodes.size(); i += stride) {
+    const std::size_t pi = i < r.predicted_nodes.size() ? i : r.predicted_nodes.size();
+    table.add_row(
+        {helios::format_time(r.running_nodes.time_at(i)),
+         TextTable::cell(static_cast<std::int64_t>(r.total_nodes)),
+         TextTable::cell(r.running_nodes.values[i], 1),
+         pi < r.predicted_nodes.size()
+             ? TextTable::cell(r.predicted_nodes.values[pi], 1)
+             : "-",
+         TextTable::cell(r.active_nodes.values[i], 1)});
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  bench::print_expectation("prediction tracks actual trend", "small error",
+                           "SMAPE " + TextTable::cell(r.forecast_smape, 1) + "%");
+  bench::print_expectation("active stays just above running",
+                           "gap ~= sigma buffer", "compare last two columns");
+  bench::print_expectation(
+      "idle gap total-vs-running is reclaimed", "many nodes powered off",
+      "avg DRS nodes " + TextTable::cell(r.avg_drs_nodes, 1));
+  return 0;
+}

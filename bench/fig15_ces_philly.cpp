@@ -1,0 +1,47 @@
+// Figure 15: node states in Philly, December 1-14, under the CES service
+// (forecaster trained on the October-November series).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/text_table.h"
+
+int main() {
+  using helios::TextTable;
+  namespace bench = helios::bench;
+
+  bench::print_header("Figure 15",
+                      "Philly node states under CES, Dec 1-14",
+                      "GBDT node forecaster trained on Oct-Nov");
+
+  const auto begin = helios::from_civil(2017, 12, 1);
+  const auto end = helios::from_civil(2017, 12, 15);
+  const auto study = bench::run_ces_study(bench::operated_philly_trace(), begin,
+                                          end, /*include_vanilla=*/false);
+  const auto& r = study.ces;
+
+  TextTable table({"time", "total", "running", "predicted", "active (CES)"});
+  const std::size_t stride = std::max<std::size_t>(
+      1, static_cast<std::size_t>(6 * 3600 / r.running_nodes.step));
+  for (std::size_t i = 0; i < r.running_nodes.size(); i += stride) {
+    table.add_row(
+        {helios::format_time(r.running_nodes.time_at(i)),
+         TextTable::cell(static_cast<std::int64_t>(r.total_nodes)),
+         TextTable::cell(r.running_nodes.values[i], 1),
+         i < r.predicted_nodes.size()
+             ? TextTable::cell(r.predicted_nodes.values[i], 1)
+             : "-",
+         TextTable::cell(r.active_nodes.values[i], 1)});
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  bench::print_expectation("Philly demand changes slowly",
+                           "0.5 wakeups/day on average",
+                           TextTable::cell(r.daily_wakeups, 1) + "/day");
+  bench::print_expectation("many idle nodes powered off", ">100 nodes (paper)",
+                           TextTable::cell(r.avg_drs_nodes, 1) +
+                               " (scaled cluster)");
+  bench::print_expectation("node utilization", "69% -> 90.4%",
+                           TextTable::cell_pct(r.node_util_original) + " -> " +
+                               TextTable::cell_pct(r.node_util_ces));
+  return 0;
+}

@@ -1,0 +1,96 @@
+// google-benchmark microbenchmarks for the ML kernels on the QSSF hot paths:
+// GBDT training/inference, Levenshtein matching, name bucketization.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/gbdt.h"
+#include "ml/levenshtein.h"
+
+namespace {
+
+using namespace helios;
+
+ml::Dataset make_dataset(std::size_t rows, std::size_t features, Rng& rng) {
+  ml::Dataset d(features);
+  std::vector<double> row(features);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double y = 0.0;
+    for (std::size_t f = 0; f < features; ++f) {
+      row[f] = rng.uniform(-1.0, 1.0);
+      y += (f % 3 == 0 ? 2.0 : -0.5) * row[f];
+    }
+    d.add_row(row, y + rng.normal(0.0, 0.1));
+  }
+  return d;
+}
+
+void BM_GbdtFit(benchmark::State& state) {
+  Rng rng(42);
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const ml::Dataset data = make_dataset(rows, 9, rng);
+  ml::GBDTConfig cfg;
+  cfg.n_trees = 20;
+  for (auto _ : state) {
+    ml::GBDTRegressor model(cfg);
+    model.fit(data);
+    benchmark::DoNotOptimize(model.trained());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_GbdtFit)->Arg(2000)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+void BM_GbdtPredict(benchmark::State& state) {
+  Rng rng(42);
+  const ml::Dataset data = make_dataset(20000, 9, rng);
+  ml::GBDTConfig cfg;
+  cfg.n_trees = 60;
+  ml::GBDTRegressor model(cfg);
+  model.fit(data);
+  const std::vector<double> probe = {0.1, -0.2, 0.3, 0.4, -0.5, 0.6, 0.0, 0.2, -0.1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(probe));
+  }
+}
+BENCHMARK(BM_GbdtPredict);
+
+void BM_Levenshtein(benchmark::State& state) {
+  const std::string a = "u0042_train_resnet50_v1";
+  const std::string b = "u0042_train_resnet101_v2";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::levenshtein(a, b));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_WithinDistanceBanded(benchmark::State& state) {
+  const std::string a = "u0042_train_resnet50_v1";
+  const std::string b = "u0913_preprocess_pointnet";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::within_distance(a, b, 4));
+  }
+}
+BENCHMARK(BM_WithinDistanceBanded);
+
+void BM_NameBucketizer(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<std::string> names;
+  for (int u = 0; u < 100; ++u) {
+    for (int t = 0; t < 10; ++t) {
+      names.push_back("u" + std::to_string(1000 + u) + "_train_model" +
+                      std::to_string(t) + "_v" + std::to_string(t % 4));
+    }
+  }
+  for (auto _ : state) {
+    ml::NameBucketizer buckets(0.2, /*prefix_len=*/6);
+    for (const auto& n : names) benchmark::DoNotOptimize(buckets.bucket(n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(names.size()));
+}
+BENCHMARK(BM_NameBucketizer)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

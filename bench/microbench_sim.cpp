@@ -1,0 +1,75 @@
+// google-benchmark microbenchmarks for the trace generator and the
+// discrete-event simulator (jobs scheduled per second of wall time).
+#include <benchmark/benchmark.h>
+
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+namespace {
+
+using namespace helios;
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const double scale = static_cast<double>(state.range(0)) / 1000.0;
+  std::size_t jobs = 0;
+  for (auto _ : state) {
+    auto cfg = trace::GeneratorConfig::helios(trace::helios_cluster("Venus"), 42,
+                                              scale);
+    const auto t = trace::SyntheticTraceGenerator(cfg).generate();
+    jobs = t.size();
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(20)->Arg(100)->Unit(benchmark::kMillisecond);
+
+const trace::Trace& cached_trace() {
+  static const trace::Trace t = [] {
+    auto cfg = trace::GeneratorConfig::helios(trace::helios_cluster("Venus"), 42,
+                                              0.05);
+    return trace::SyntheticTraceGenerator(cfg).generate();
+  }();
+  return t;
+}
+
+void run_policy(benchmark::State& state, sim::SchedulerPolicy policy) {
+  const auto& t = cached_trace();
+  sim::SimConfig cfg;
+  cfg.policy = policy;
+  if (policy == sim::SchedulerPolicy::kQssf) {
+    cfg.priority_fn = [](const trace::JobRecord& j) {
+      return static_cast<double>(j.duration) * j.num_gpus;
+    };
+  }
+  std::size_t jobs = 0;
+  for (auto _ : state) {
+    sim::ClusterSimulator sim(t.cluster(), cfg);
+    const auto r = sim.run(t);
+    jobs = r.outcomes.size();
+    benchmark::DoNotOptimize(r.avg_jct);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs));
+}
+
+void BM_SimulateFifo(benchmark::State& state) {
+  run_policy(state, sim::SchedulerPolicy::kFifo);
+}
+void BM_SimulateSjf(benchmark::State& state) {
+  run_policy(state, sim::SchedulerPolicy::kSjf);
+}
+void BM_SimulateSrtf(benchmark::State& state) {
+  run_policy(state, sim::SchedulerPolicy::kSrtf);
+}
+void BM_SimulateQssf(benchmark::State& state) {
+  run_policy(state, sim::SchedulerPolicy::kQssf);
+}
+BENCHMARK(BM_SimulateFifo)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateSjf)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateSrtf)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateQssf)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

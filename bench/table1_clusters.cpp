@@ -1,0 +1,45 @@
+// Table 1: configurations of the four Helios clusters.
+//
+// Regenerates the cluster shapes the rest of the evaluation runs on. At
+// scale < 1 the node/GPU counts shrink proportionally (the scale is printed
+// in the header); VC counts may shrink too because sub-node VCs are dropped.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/text_table.h"
+
+int main() {
+  using helios::TextTable;
+  namespace bench = helios::bench;
+
+  bench::print_header("Table 1", "Configurations of four clusters in Helios");
+
+  TextTable table({"Cluster", "# of VCs", "# of Nodes", "# of GPUs",
+                   "GPUs/node", "CPUs/node", "# of Jobs (trace)"});
+  std::int64_t vcs = 0;
+  std::int64_t nodes = 0;
+  std::int64_t gpus = 0;
+  std::int64_t jobs = 0;
+  for (const auto& t : bench::helios_traces()) {
+    const auto& c = t.cluster();
+    table.add_row({c.name, TextTable::cell(static_cast<std::int64_t>(c.vc_count())),
+                   TextTable::cell(static_cast<std::int64_t>(c.nodes)),
+                   TextTable::cell_grouped(c.total_gpus()),
+                   TextTable::cell(static_cast<std::int64_t>(c.gpus_per_node)),
+                   TextTable::cell(static_cast<std::int64_t>(c.cpus_per_node)),
+                   TextTable::cell_grouped(static_cast<std::int64_t>(t.size()))});
+    vcs += c.vc_count();
+    nodes += c.nodes;
+    gpus += c.total_gpus();
+    jobs += static_cast<std::int64_t>(t.size());
+  }
+  table.add_row({"Total", TextTable::cell(vcs), TextTable::cell_grouped(nodes),
+                 TextTable::cell_grouped(gpus), "-", "-",
+                 TextTable::cell_grouped(jobs)});
+  std::printf("%s\n", table.str().c_str());
+
+  bench::print_expectation("paper totals (scale 1.0)",
+                           "105 VCs, 802 nodes, 6,416 GPUs, 3,363k jobs",
+                           "see rows above (scaled)");
+  return 0;
+}

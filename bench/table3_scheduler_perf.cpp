@@ -1,0 +1,85 @@
+// Table 3: average JCT, average queuing time and number of queued jobs under
+// FIFO / SJF / QSSF (plus SRTF) for the four Helios clusters (September) and
+// Philly (October-November).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/text_table.h"
+
+namespace {
+
+struct Row {
+  std::string cluster;
+  helios::bench::SchedulerStudy study;
+};
+
+}  // namespace
+
+int main() {
+  using helios::TextTable;
+  namespace bench = helios::bench;
+
+  bench::print_header("Table 3",
+                      "Scheduler performance across the five traces",
+                      "Helios eval: September; Philly eval: Oct 15 - Nov 30");
+
+  std::vector<Row> rows;
+  for (const auto& t : bench::helios_traces()) {
+    rows.push_back({t.cluster().name,
+                    bench::run_scheduler_study(t, helios::from_civil(2020, 9, 1),
+                                               helios::trace::helios_trace_end())});
+  }
+  rows.push_back({"Philly", bench::run_scheduler_study(
+                                bench::philly_trace(),
+                                helios::from_civil(2017, 10, 15),
+                                helios::from_civil(2017, 12, 1))});
+
+  auto emit = [&](const char* title,
+                  const std::function<std::string(const helios::sim::SimResult&)>& f) {
+    TextTable table({"", "Venus", "Earth", "Saturn", "Uranus", "Philly"});
+    for (const char* policy : {"FIFO", "SJF", "QSSF", "SRTF"}) {
+      std::vector<std::string> cells = {policy};
+      for (const auto& r : rows) {
+        const auto& sr = policy == std::string("FIFO")   ? r.study.fifo
+                         : policy == std::string("SJF")  ? r.study.sjf
+                         : policy == std::string("QSSF") ? r.study.qssf
+                                                         : r.study.srtf;
+        cells.push_back(f(sr));
+      }
+      table.add_row(std::move(cells));
+    }
+    std::printf("%s\n%s\n", title, table.str().c_str());
+  };
+
+  emit("Average JCT (s)", [](const helios::sim::SimResult& r) {
+    return TextTable::cell(r.avg_jct, 0);
+  });
+  emit("Average queuing time (s)", [](const helios::sim::SimResult& r) {
+    return TextTable::cell(r.avg_queue_delay, 0);
+  });
+  emit("# of queued jobs", [](const helios::sim::SimResult& r) {
+    return TextTable::cell_grouped(r.queued_jobs);
+  });
+
+  TextTable speedup({"", "Venus", "Earth", "Saturn", "Uranus", "Philly"});
+  std::vector<std::string> jct_row = {"JCT improvement (FIFO/QSSF)"};
+  std::vector<std::string> queue_row = {"queuing improvement (FIFO/QSSF)"};
+  for (const auto& r : rows) {
+    jct_row.push_back(
+        TextTable::cell(r.study.fifo.avg_jct / std::max(1.0, r.study.qssf.avg_jct), 1) + "x");
+    queue_row.push_back(
+        TextTable::cell(r.study.fifo.avg_queue_delay /
+                            std::max(1.0, r.study.qssf.avg_queue_delay), 1) + "x");
+  }
+  speedup.add_row(std::move(jct_row));
+  speedup.add_row(std::move(queue_row));
+  std::printf("%s\n", speedup.str().c_str());
+
+  bench::print_expectation("QSSF vs FIFO avg JCT", "1.5~6.5x better",
+                           "see improvement row");
+  bench::print_expectation("QSSF vs FIFO queuing", "4.8~20.2x (Helios), 7.3x (Philly)",
+                           "see improvement row");
+  bench::print_expectation("QSSF ~ SJF", "comparable without oracle info",
+                           "compare SJF and QSSF rows");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Table 5: CES performance per cluster — average DRS (sleeping) nodes, daily
+// wake-up events, nodes woken per event, node utilization before/after — plus
+// the §4.3.3 headline numbers: affected jobs, vanilla-DRS comparison, and the
+// annualized energy saving.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/text_table.h"
+
+int main() {
+  using helios::TextTable;
+  namespace bench = helios::bench;
+
+  bench::print_header("Table 5",
+                      "CES performance on each Helios cluster and Philly",
+                      "Helios eval: Sep 1-21; Philly eval: Dec 1-14");
+
+  struct Entry {
+    std::string name;
+    bench::CesStudy study;
+  };
+  std::vector<Entry> entries;
+  for (const auto& t : bench::operated_helios_traces()) {
+    entries.push_back({t.cluster().name,
+                       bench::run_ces_study(t, helios::from_civil(2020, 9, 1),
+                                            helios::from_civil(2020, 9, 22))});
+  }
+  entries.push_back({"Philly",
+                     bench::run_ces_study(bench::operated_philly_trace(),
+                                          helios::from_civil(2017, 12, 1),
+                                          helios::from_civil(2017, 12, 15))});
+
+  TextTable table({"", "Venus", "Earth", "Saturn", "Uranus", "Philly"});
+  auto row = [&](const char* label,
+                 const std::function<std::string(const helios::core::CesResult&)>& f) {
+    std::vector<std::string> cells = {label};
+    for (const auto& e : entries) cells.push_back(f(e.study.ces));
+    table.add_row(std::move(cells));
+  };
+  row("Average # of DRS nodes", [](const auto& r) {
+    return TextTable::cell(r.avg_drs_nodes, 1);
+  });
+  row("Average daily wake-ups", [](const auto& r) {
+    return TextTable::cell(r.daily_wakeups, 1);
+  });
+  row("Average woken nodes per wake-up", [](const auto& r) {
+    return TextTable::cell(r.avg_woken_per_wakeup, 1);
+  });
+  row("Node utilization (Original)", [](const auto& r) {
+    return TextTable::cell_pct(r.node_util_original);
+  });
+  row("Node utilization (CES)", [](const auto& r) {
+    return TextTable::cell_pct(r.node_util_ces);
+  });
+  row("Affected jobs / total", [](const auto& r) {
+    return TextTable::cell(r.affected_jobs) + "/" + TextTable::cell(r.total_jobs);
+  });
+  row("Forecast SMAPE", [](const auto& r) {
+    return TextTable::cell(r.forecast_smape, 1) + "%";
+  });
+  row("Saved energy (window, kWh)", [](const auto& r) {
+    return TextTable::cell(r.saved_kwh, 0);
+  });
+  std::printf("%s\n", table.str().c_str());
+
+  // Vanilla DRS comparison (the §4.3.3 ablation).
+  TextTable vt({"", "Venus", "Earth", "Saturn", "Uranus", "Philly"});
+  std::vector<std::string> smart = {"CES wake-ups/day"};
+  std::vector<std::string> vanilla = {"vanilla DRS wake-ups/day"};
+  std::vector<std::string> affected = {"vanilla DRS affected jobs"};
+  for (const auto& e : entries) {
+    smart.push_back(TextTable::cell(e.study.ces.daily_wakeups, 1));
+    vanilla.push_back(TextTable::cell(e.study.vanilla.daily_wakeups, 1));
+    affected.push_back(TextTable::cell(e.study.vanilla.affected_jobs));
+  }
+  vt.add_row(std::move(smart));
+  vt.add_row(std::move(vanilla));
+  vt.add_row(std::move(affected));
+  std::printf("%s\n", vt.str().c_str());
+
+  double annual = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) annual += entries[i].study.ces.annualized_kwh;
+  bench::print_expectation("annualized Helios saving (4 clusters)",
+                           ">1.65M kWh at scale 1.0",
+                           TextTable::cell(annual, 0) + " kWh (scaled cluster)");
+  bench::print_expectation("daily wake-ups (Helios)", "1.1~2.6 (CES) vs ~34 (vanilla)",
+                           "see comparison rows");
+  bench::print_expectation("node utilization gains", "e.g. Earth 82.1%->95.1%",
+                           "see utilization rows");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Capacity forecasting walkthrough: derive a cluster's running-nodes series,
+// backtest the four forecaster families, and produce a 24-hour demand
+// forecast — the modelling core of the CES service, usable on its own for
+// capacity planning.
+//
+// Usage: ./build/examples/example_capacity_forecasting [cluster] [scale]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "forecast/models.h"
+#include "sim/simulator.h"
+#include "stats/metrics.h"
+#include "trace/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace helios;
+  const std::string cluster = argc > 1 ? argv[1] : "Saturn";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.1;
+
+  auto cfg = trace::GeneratorConfig::helios(trace::helios_cluster(cluster), 42,
+                                            scale);
+  trace::Trace t = trace::SyntheticTraceGenerator(cfg).generate();
+  sim::SimConfig sc;
+  sc.backfill = true;
+  const auto run = sim::ClusterSimulator(t.cluster(), sc).run(t);
+  const auto series =
+      run.busy_nodes.between(run.busy_nodes.begin, trace::helios_trace_end());
+
+  const std::size_t train_n = series.index_of(from_civil(2020, 9, 1));
+  std::printf("=== %s running-nodes series: %zu samples at %llds ===\n",
+              cluster.c_str(), series.size(),
+              static_cast<long long>(series.step));
+
+  std::vector<std::unique_ptr<forecast::Forecaster>> models;
+  models.push_back(std::make_unique<forecast::GBDTForecaster>());
+  models.push_back(std::make_unique<forecast::ARForecaster>(36, 1));
+  models.push_back(std::make_unique<forecast::HoltWintersForecaster>(144));
+  models.push_back(std::make_unique<forecast::SeasonalNaiveForecaster>(144));
+
+  std::printf("\nSeptember backtest (3h horizon, hourly origins):\n");
+  const forecast::Forecaster* best = nullptr;
+  double best_smape = 1e18;
+  for (auto& m : models) {
+    m->fit(series.slice(0, train_n));
+    const auto bt = forecast::backtest(*m, series, train_n, 18, 6);
+    const double s = stats::smape(bt.actual, bt.predicted);
+    std::printf("  %-16s SMAPE %6.2f%%  MAE %5.2f nodes\n", m->name().c_str(), s,
+                stats::mae(bt.actual, bt.predicted));
+    if (s < best_smape) {
+      best_smape = s;
+      best = m.get();
+    }
+  }
+
+  std::printf("\nnext-24h demand forecast (%s):\n", best->name().c_str());
+  const auto pred = best->forecast(series, 144);
+  for (std::size_t h = 0; h < pred.size(); h += 12) {  // every 2 hours
+    std::printf("  +%2zuh: %6.1f nodes\n", h / 6, pred[h]);
+  }
+  return 0;
+}

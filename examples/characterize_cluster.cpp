@@ -1,0 +1,78 @@
+// Full §3-style characterization of one cluster: the analyses behind
+// Figures 2 and 5-9, as a library-consumer walkthrough.
+//
+// Usage: ./build/examples/example_characterize_cluster [cluster] [scale]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/cluster_stats.h"
+#include "analysis/job_stats.h"
+#include "analysis/user_stats.h"
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace helios;
+  const std::string cluster = argc > 1 ? argv[1] : "Saturn";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.1;
+
+  auto cfg = trace::GeneratorConfig::helios(trace::helios_cluster(cluster), 42,
+                                            scale);
+  trace::Trace t = trace::SyntheticTraceGenerator(cfg).generate();
+  sim::operate_fifo(t);  // assign start times the way Slurm did
+
+  const auto begin = trace::helios_trace_begin();
+  const auto end = trace::helios_trace_end();
+
+  std::printf("=== %s (scale %.2f): %zu jobs ===\n\n", cluster.c_str(), scale,
+              t.size());
+
+  // Cluster level: utilization profile (Figure 2a).
+  const auto util = analysis::utilization_series(t, begin, end, 3600);
+  const auto hourly = analysis::hourly_profile(util);
+  std::printf("hourly utilization profile:\n  ");
+  for (int h = 0; h < 24; ++h) std::printf("%02d:%4.0f%% ", h, 100 * hourly[static_cast<std::size_t>(h)]);
+  std::printf("\n\n");
+
+  // Job level: durations and sizes (Figures 5-6).
+  const auto gpu_cdf = analysis::duration_cdf(t, true);
+  std::printf("GPU job durations: p25 %.0fs  median %.0fs  p75 %.0fs  p99 %.0fs\n",
+              gpu_cdf.inverse(0.25), gpu_cdf.inverse(0.5), gpu_cdf.inverse(0.75),
+              gpu_cdf.inverse(0.99));
+  std::printf("job-size mix (share of jobs / share of GPU time):\n");
+  for (const auto& b : analysis::job_size_distribution(t)) {
+    if (b.job_fraction < 0.002) continue;
+    std::printf("  %4d GPUs: %5.1f%% / %5.1f%%\n", b.gpus, 100 * b.job_fraction,
+                100 * b.gpu_time_fraction);
+  }
+
+  // Status level (Figure 7).
+  const auto by_state = analysis::gpu_time_by_state(t);
+  std::printf("GPU time by status: %.1f%% completed / %.1f%% canceled / %.1f%% failed\n\n",
+              100 * by_state[0], 100 * by_state[1], 100 * by_state[2]);
+
+  // User level (Figures 8-9).
+  const auto users = analysis::user_aggregates(t);
+  std::vector<double> gpu_time;
+  std::vector<double> delays;
+  for (const auto& u : users) {
+    gpu_time.push_back(u.gpu_time);
+    delays.push_back(u.queue_delay);
+  }
+  std::printf("users: %zu; top 5%% hold %.1f%% of GPU time and %.1f%% of queuing\n",
+              users.size(), 100 * analysis::top_share(gpu_time, 0.05),
+              100 * analysis::top_share(delays, 0.05));
+
+  // VC level (Figure 4).
+  std::printf("\nlargest VCs (May):\n");
+  const auto vcs = analysis::vc_behaviors(t, from_civil(2020, 5, 1),
+                                          from_civil(2020, 6, 1));
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, vcs.size()); ++i) {
+    std::printf("  %-6s %4d GPUs  median util %5.1f%%  avg req %.1f GPUs  "
+                "avg delay %.0fs\n",
+                vcs[i].name.c_str(), vcs[i].gpus, 100 * vcs[i].utilization.median,
+                vcs[i].avg_gpu_request, vcs[i].avg_queue_delay);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Cluster Energy Saving walkthrough: operate a cluster, train the node
+// forecaster, replay three weeks under Algorithm 2, and translate the result
+// into money (the motivation of §4.3: "electricity dominates the operation
+// cost of modern GPU datacenters").
+//
+// Usage: ./build/examples/example_energy_saving [cluster] [scale] [usd_per_kwh]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/ces_service.h"
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace helios;
+  const std::string cluster = argc > 1 ? argv[1] : "Earth";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.15;
+  const double usd_per_kwh = argc > 3 ? std::atof(argv[3]) : 0.10;
+
+  auto cfg = trace::GeneratorConfig::helios(trace::helios_cluster(cluster), 42,
+                                            scale);
+  trace::Trace t = trace::SyntheticTraceGenerator(cfg).generate();
+  const auto operated = sim::operate_fifo(t);
+
+  const auto eval_begin = from_civil(2020, 9, 1);
+  const auto eval_end = from_civil(2020, 9, 22);
+  const auto history =
+      operated.busy_nodes.between(operated.busy_nodes.begin, eval_begin);
+
+  core::CesConfig ces_cfg;  // xi=0.5 trends, 5-min reboot
+  // Buffer ~1 node per 30: the paper's sigma is absolute on full clusters.
+  ces_cfg.sigma = std::max(1, t.cluster().nodes / 30);
+  core::CesService ces(ces_cfg, std::make_unique<forecast::GBDTForecaster>());
+  ces.fit(history);
+  const auto r = ces.replay(t, history, eval_begin, eval_end);
+
+  std::printf("=== CES on %s (%d nodes, scale %.2f), Sep 1-21 ===\n",
+              cluster.c_str(), r.total_nodes, scale);
+  std::printf("node utilization:    %.1f%% -> %.1f%%\n",
+              100 * r.node_util_original, 100 * r.node_util_ces);
+  std::printf("avg sleeping nodes:  %.1f of %d\n", r.avg_drs_nodes, r.total_nodes);
+  std::printf("wake-up events:      %.1f per day (%.1f nodes per event)\n",
+              r.daily_wakeups, r.avg_woken_per_wakeup);
+  std::printf("jobs delayed by boots: %lld of %lld\n",
+              static_cast<long long>(r.affected_jobs),
+              static_cast<long long>(r.total_jobs));
+  std::printf("forecast error:      %.1f%% SMAPE\n", r.forecast_smape);
+  std::printf("energy saved:        %.0f kWh over 3 weeks "
+              "(server + cooling)\n", r.saved_kwh);
+  std::printf("annualized:          %.0f kWh  ~= $%.0f/year at $%.2f/kWh\n",
+              r.annualized_kwh, r.annualized_kwh * usd_per_kwh, usd_per_kwh);
+  std::printf("\n(The paper reports >1.65M kWh/year across the four full-size "
+              "Helios clusters.)\n");
+  return 0;
+}

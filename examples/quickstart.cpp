@@ -1,0 +1,59 @@
+// Quickstart: generate a synthetic Helios-style trace, characterize it, and
+// compare the QSSF scheduler against FIFO — the library's three main layers
+// (trace substrate, analysis, prediction framework) in ~80 lines.
+//
+// Build & run:   ./build/examples/example_quickstart [scale]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/job_stats.h"
+#include "core/qssf_service.h"
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace helios;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.05;
+
+  // 1) Generate a scaled-down Venus trace (Table 1 shape, §3 statistics).
+  auto cfg = trace::GeneratorConfig::helios(trace::helios_cluster("Venus"),
+                                            /*seed=*/42, scale);
+  trace::Trace t = trace::SyntheticTraceGenerator(cfg).generate();
+  std::printf("generated %zu jobs on %d nodes / %d GPUs (%d VCs)\n", t.size(),
+              t.cluster().nodes, t.cluster().total_gpus(),
+              t.cluster().vc_count());
+
+  // 2) Characterize it.
+  const auto s = analysis::summarize(t);
+  std::printf("GPU jobs: %lld (median %.0f s, mean %.0f s, avg %.2f GPUs)\n",
+              static_cast<long long>(s.gpu_jobs), s.median_gpu_job_duration,
+              s.avg_gpu_job_duration, s.avg_gpus_per_gpu_job);
+  const auto status = analysis::job_fraction_by_state(t, /*gpu_jobs=*/true);
+  std::printf("final statuses: %.1f%% completed, %.1f%% canceled, %.1f%% failed\n",
+              100 * status[0], 100 * status[1], 100 * status[2]);
+
+  // 3) Train the QSSF service on April-August and schedule September.
+  const auto train = t.between(trace::helios_trace_begin(), from_civil(2020, 9, 1));
+  const auto eval = t.between(from_civil(2020, 9, 1), trace::helios_trace_end());
+  core::QssfService qssf;
+  qssf.fit(train);
+  core::OnlinePriorityEvaluator evaluator(qssf, eval);
+
+  sim::SimConfig fifo_cfg;  // the cluster's production policy
+  const auto fifo = sim::ClusterSimulator(eval.cluster(), fifo_cfg).run(eval);
+
+  sim::SimConfig qssf_cfg;
+  qssf_cfg.policy = sim::SchedulerPolicy::kQssf;
+  qssf_cfg.priority_fn = evaluator.as_priority_fn();
+  const auto smart = sim::ClusterSimulator(eval.cluster(), qssf_cfg).run(eval);
+
+  std::printf("\nSeptember scheduling (%zu GPU jobs):\n", fifo.outcomes.size());
+  std::printf("  FIFO: avg JCT %8.0f s   avg queuing %8.0f s\n", fifo.avg_jct,
+              fifo.avg_queue_delay);
+  std::printf("  QSSF: avg JCT %8.0f s   avg queuing %8.0f s\n", smart.avg_jct,
+              smart.avg_queue_delay);
+  std::printf("  improvement: %.1fx JCT, %.1fx queuing\n",
+              fifo.avg_jct / smart.avg_jct,
+              fifo.avg_queue_delay / std::max(1.0, smart.avg_queue_delay));
+  return 0;
+}

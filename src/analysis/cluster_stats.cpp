@@ -1,0 +1,188 @@
+#include "analysis/cluster_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/civil_time.h"
+
+namespace helios::analysis {
+
+using trace::JobRecord;
+using trace::Trace;
+
+std::vector<double> busy_gpu_seconds(const Trace& t, UnixTime begin, UnixTime end,
+                                     std::int64_t step, const JobPredicate& pred) {
+  const auto n_buckets =
+      static_cast<std::size_t>(std::max<std::int64_t>(0, (end - begin + step - 1) / step));
+  std::vector<double> busy(n_buckets, 0.0);
+  if (n_buckets == 0) return busy;
+  for (const auto& j : t.jobs()) {
+    if (!j.started() || j.num_gpus <= 0) continue;
+    if (pred && !pred(j)) continue;
+    const UnixTime s = std::max<std::int64_t>(j.start_time, begin);
+    const UnixTime e = std::min<std::int64_t>(j.end_time(), end);
+    if (e <= s) continue;
+    auto b = static_cast<std::size_t>((s - begin) / step);
+    const auto b_end = static_cast<std::size_t>((e - 1 - begin) / step);
+    for (; b <= b_end && b < n_buckets; ++b) {
+      const UnixTime bucket_lo = begin + static_cast<UnixTime>(b) * step;
+      const UnixTime bucket_hi = bucket_lo + step;
+      const double overlap = static_cast<double>(std::min(e, bucket_hi) -
+                                                 std::max(s, bucket_lo));
+      busy[b] += overlap * j.num_gpus;
+    }
+  }
+  return busy;
+}
+
+UtilizationSeries utilization_series(const Trace& t, UnixTime begin, UnixTime end,
+                                     std::int64_t step, const JobPredicate& pred) {
+  UtilizationSeries s;
+  s.begin = begin;
+  s.step = step;
+  s.values = busy_gpu_seconds(t, begin, end, step, pred);
+  const double capacity =
+      static_cast<double>(t.cluster().total_gpus()) * static_cast<double>(step);
+  if (capacity > 0.0) {
+    for (auto& v : s.values) v /= capacity;
+  }
+  return s;
+}
+
+UtilizationSeries vc_utilization_series(const Trace& t, int vc_index,
+                                        UnixTime begin, UnixTime end,
+                                        std::int64_t step) {
+  UtilizationSeries s;
+  s.begin = begin;
+  s.step = step;
+  const auto vc_id = static_cast<std::uint32_t>(vc_index);
+  s.values = busy_gpu_seconds(
+      t, begin, end, step,
+      [vc_id](const JobRecord& j) { return j.vc == vc_id; });
+  const auto& vcs = t.cluster().vcs;
+  const double gpus = vc_index >= 0 && vc_index < static_cast<int>(vcs.size())
+                          ? vcs[static_cast<std::size_t>(vc_index)].total_gpus()
+                          : 0.0;
+  const double capacity = gpus * static_cast<double>(step);
+  if (capacity > 0.0) {
+    for (auto& v : s.values) v /= capacity;
+  }
+  return s;
+}
+
+std::array<double, 24> hourly_profile(const UtilizationSeries& s) {
+  std::array<double, 24> sum{};
+  std::array<double, 24> count{};
+  for (std::size_t i = 0; i < s.values.size(); ++i) {
+    const UnixTime mid = s.time_at(i) + s.step / 2;
+    const int h = hour_of(mid);
+    sum[static_cast<std::size_t>(h)] += s.values[i];
+    count[static_cast<std::size_t>(h)] += 1.0;
+  }
+  std::array<double, 24> avg{};
+  for (int h = 0; h < 24; ++h) {
+    avg[static_cast<std::size_t>(h)] =
+        count[static_cast<std::size_t>(h)] > 0.0
+            ? sum[static_cast<std::size_t>(h)] / count[static_cast<std::size_t>(h)]
+            : 0.0;
+  }
+  return avg;
+}
+
+std::array<double, 24> hourly_submission_rate(const Trace& t, UnixTime begin,
+                                              UnixTime end) {
+  std::array<double, 24> counts{};
+  for (const auto& j : t.jobs()) {
+    if (!j.is_gpu_job()) continue;
+    if (j.submit_time < begin || j.submit_time >= end) continue;
+    ++counts[static_cast<std::size_t>(hour_of(j.submit_time))];
+  }
+  const double days = static_cast<double>(end - begin) /
+                      static_cast<double>(kSecondsPerDay);
+  if (days > 0.0) {
+    for (auto& c : counts) c /= days;
+  }
+  return counts;
+}
+
+std::vector<MonthlyActivity> monthly_trends(const Trace& t, UnixTime begin,
+                                            UnixTime end) {
+  // Month keys in chronological order.
+  std::map<int, MonthlyActivity> months;  // key = year * 100 + month
+  for (const auto& j : t.jobs()) {
+    if (!j.is_gpu_job()) continue;
+    if (j.submit_time < begin || j.submit_time >= end) continue;
+    const CivilTime c = to_civil(j.submit_time);
+    auto& m = months[c.year * 100 + c.month];
+    m.year = c.year;
+    m.month = c.month;
+    if (j.num_gpus == 1) {
+      ++m.single_gpu_jobs;
+    } else {
+      ++m.multi_gpu_jobs;
+    }
+  }
+  // Utilization per month: integrate busy GPU-seconds month by month.
+  for (auto& [key, m] : months) {
+    const UnixTime mb = std::max(begin, from_civil(m.year, m.month, 1));
+    const int next_month = m.month == 12 ? 1 : m.month + 1;
+    const int next_year = m.month == 12 ? m.year + 1 : m.year;
+    const UnixTime me = std::min(end, from_civil(next_year, next_month, 1));
+    if (me <= mb) continue;
+    const auto whole = busy_gpu_seconds(t, mb, me, me - mb);
+    const auto single = busy_gpu_seconds(t, mb, me, me - mb, [](const JobRecord& j) {
+      return j.num_gpus == 1;
+    });
+    const double capacity = static_cast<double>(t.cluster().total_gpus()) *
+                            static_cast<double>(me - mb);
+    if (capacity > 0.0 && !whole.empty()) {
+      m.avg_utilization = whole[0] / capacity;
+      m.util_from_single = single[0] / capacity;
+      m.util_from_multi = m.avg_utilization - m.util_from_single;
+    }
+  }
+  std::vector<MonthlyActivity> out;
+  out.reserve(months.size());
+  for (const auto& [key, m] : months) out.push_back(m);
+  return out;
+}
+
+std::vector<VCBehavior> vc_behaviors(const Trace& t, UnixTime begin, UnixTime end,
+                                     std::int64_t minute_step) {
+  const auto& vcs = t.cluster().vcs;
+  std::vector<VCBehavior> out;
+  out.reserve(vcs.size());
+  for (int vi = 0; vi < static_cast<int>(vcs.size()); ++vi) {
+    VCBehavior b;
+    b.vc_index = vi;
+    b.name = vcs[static_cast<std::size_t>(vi)].name;
+    b.gpus = vcs[static_cast<std::size_t>(vi)].total_gpus();
+    const auto series = vc_utilization_series(t, vi, begin, end, minute_step);
+    b.utilization = stats::box_stats(series.values);
+
+    stats::RunningStats req;
+    stats::RunningStats delay;
+    stats::RunningStats dur;
+    // The trace's vc ids were interned in spec order by the generator; match
+    // by name to stay robust to traces built differently.
+    const auto vc_id = t.vcs().find(b.name);
+    for (const auto& j : t.jobs()) {
+      if (!j.is_gpu_job() || j.vc != vc_id) continue;
+      if (j.submit_time < begin || j.submit_time >= end) continue;
+      req.add(j.num_gpus);
+      delay.add(static_cast<double>(j.queue_delay()));
+      dur.add(j.duration);
+    }
+    b.avg_gpu_request = req.mean();
+    b.avg_queue_delay = delay.mean();
+    b.avg_duration = dur.mean();
+    b.jobs = req.count();
+    out.push_back(b);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const VCBehavior& a, const VCBehavior& b) { return a.gpus > b.gpus; });
+  return out;
+}
+
+}  // namespace helios::analysis

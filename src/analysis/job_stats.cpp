@@ -1,0 +1,142 @@
+#include "analysis/job_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "stats/summary.h"
+
+namespace helios::analysis {
+
+using trace::JobRecord;
+using trace::JobState;
+using trace::Trace;
+
+TraceSummary summarize(const Trace& t) {
+  TraceSummary s;
+  s.total_jobs = static_cast<std::int64_t>(t.size());
+  s.users = static_cast<std::int64_t>(t.users().size());
+  s.vcs = static_cast<std::int64_t>(t.vcs().size());
+  stats::RunningStats gpu_dur;
+  stats::RunningStats cpu_dur;
+  stats::RunningStats gpus;
+  std::vector<double> gpu_durs;
+  UnixTime lo = 0;
+  UnixTime hi = 0;
+  bool first = true;
+  for (const auto& j : t.jobs()) {
+    if (first) {
+      lo = hi = j.submit_time;
+      first = false;
+    } else {
+      lo = std::min(lo, j.submit_time);
+      hi = std::max(hi, j.submit_time);
+    }
+    s.max_duration = std::max(s.max_duration, j.duration);
+    if (j.is_gpu_job()) {
+      ++s.gpu_jobs;
+      gpu_dur.add(j.duration);
+      gpu_durs.push_back(j.duration);
+      gpus.add(j.num_gpus);
+      s.max_gpus = std::max(s.max_gpus, j.num_gpus);
+    } else {
+      ++s.cpu_jobs;
+      cpu_dur.add(j.duration);
+    }
+  }
+  s.avg_gpus_per_gpu_job = gpus.mean();
+  s.avg_gpu_job_duration = gpu_dur.mean();
+  s.median_gpu_job_duration = stats::median(gpu_durs);
+  s.avg_cpu_job_duration = cpu_dur.mean();
+  s.duration_days =
+      first ? 0.0 : static_cast<double>(hi - lo) / static_cast<double>(kSecondsPerDay);
+  return s;
+}
+
+stats::Ecdf duration_cdf(const Trace& t, bool gpu_jobs) {
+  std::vector<double> durations;
+  for (const auto& j : t.jobs()) {
+    if (j.is_gpu_job() == gpu_jobs) {
+      durations.push_back(static_cast<double>(j.duration));
+    }
+  }
+  return stats::Ecdf(std::move(durations));
+}
+
+std::array<double, 3> gpu_time_by_state(const Trace& t) {
+  std::array<double, 3> time{};
+  for (const auto& j : t.jobs()) {
+    if (j.is_gpu_job()) time[static_cast<std::size_t>(j.state)] += j.gpu_time();
+  }
+  const double total = time[0] + time[1] + time[2];
+  if (total > 0.0) {
+    for (auto& v : time) v /= total;
+  }
+  return time;
+}
+
+std::array<double, 3> job_fraction_by_state(const Trace& t, bool gpu_jobs) {
+  std::array<double, 3> counts{};
+  for (const auto& j : t.jobs()) {
+    if (j.is_gpu_job() == gpu_jobs) ++counts[static_cast<std::size_t>(j.state)];
+  }
+  const double total = counts[0] + counts[1] + counts[2];
+  if (total > 0.0) {
+    for (auto& v : counts) v /= total;
+  }
+  return counts;
+}
+
+std::vector<SizeBucket> job_size_distribution(const Trace& t) {
+  std::map<std::int32_t, std::pair<double, double>> buckets;  // gpus -> jobs, time
+  double total_jobs = 0.0;
+  double total_time = 0.0;
+  for (const auto& j : t.jobs()) {
+    if (!j.is_gpu_job()) continue;
+    auto& [count, time] = buckets[j.num_gpus];
+    count += 1.0;
+    time += j.gpu_time();
+    total_jobs += 1.0;
+    total_time += j.gpu_time();
+  }
+  std::vector<SizeBucket> out;
+  double job_cdf = 0.0;
+  double time_cdf = 0.0;
+  for (const auto& [gpus, ct] : buckets) {
+    SizeBucket b;
+    b.gpus = gpus;
+    b.job_fraction = total_jobs > 0.0 ? ct.first / total_jobs : 0.0;
+    b.gpu_time_fraction = total_time > 0.0 ? ct.second / total_time : 0.0;
+    job_cdf += b.job_fraction;
+    time_cdf += b.gpu_time_fraction;
+    b.job_cdf = job_cdf;
+    b.gpu_time_cdf = time_cdf;
+    out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<StatusBySize> status_by_gpu_count(const Trace& t) {
+  std::map<std::int32_t, std::array<std::int64_t, 3>> buckets;
+  for (const auto& j : t.jobs()) {
+    if (!j.is_gpu_job()) continue;
+    // Only power-of-two demands, as in Figure 7b.
+    if ((j.num_gpus & (j.num_gpus - 1)) != 0) continue;
+    ++buckets[j.num_gpus][static_cast<std::size_t>(j.state)];
+  }
+  std::vector<StatusBySize> out;
+  for (const auto& [gpus, counts] : buckets) {
+    StatusBySize s;
+    s.gpus = gpus;
+    s.jobs = counts[0] + counts[1] + counts[2];
+    if (s.jobs > 0) {
+      s.completed = static_cast<double>(counts[0]) / static_cast<double>(s.jobs);
+      s.canceled = static_cast<double>(counts[1]) / static_cast<double>(s.jobs);
+      s.failed = static_cast<double>(counts[2]) / static_cast<double>(s.jobs);
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace helios::analysis

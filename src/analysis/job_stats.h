@@ -1,0 +1,68 @@
+// Job-level characterization (paper §3.2, Figures 1, 5, 6, 7; Table 2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "stats/ecdf.h"
+#include "trace/trace.h"
+
+namespace helios::analysis {
+
+/// Table-2-style summary of one trace.
+struct TraceSummary {
+  std::int64_t total_jobs = 0;
+  std::int64_t gpu_jobs = 0;
+  std::int64_t cpu_jobs = 0;
+  double avg_gpus_per_gpu_job = 0.0;
+  std::int32_t max_gpus = 0;
+  double avg_gpu_job_duration = 0.0;
+  double median_gpu_job_duration = 0.0;
+  double avg_cpu_job_duration = 0.0;
+  std::int32_t max_duration = 0;
+  std::int64_t users = 0;
+  std::int64_t vcs = 0;
+  double duration_days = 0.0;
+};
+
+[[nodiscard]] TraceSummary summarize(const trace::Trace& t);
+
+/// ECDF of job durations (seconds); `gpu_jobs` selects GPU vs CPU jobs.
+[[nodiscard]] stats::Ecdf duration_cdf(const trace::Trace& t, bool gpu_jobs);
+
+/// Fractions of total GPU time attributed to each final status
+/// (Figure 1b / 7a): indexed by JobState (completed, canceled, failed).
+[[nodiscard]] std::array<double, 3> gpu_time_by_state(const trace::Trace& t);
+
+/// Fractions of jobs by final status; `gpu_jobs` selects the population
+/// (Figure 7a).
+[[nodiscard]] std::array<double, 3> job_fraction_by_state(const trace::Trace& t,
+                                                          bool gpu_jobs);
+
+/// Distribution over GPU-demand buckets 2^0 .. 2^k (Figure 6): for each
+/// power-of-two demand, the fraction of GPU jobs (exact demand match) and
+/// the fraction of total GPU time.
+struct SizeBucket {
+  std::int32_t gpus = 1;
+  double job_fraction = 0.0;
+  double gpu_time_fraction = 0.0;
+  /// Cumulative variants (CDF view used by the paper's plot).
+  double job_cdf = 0.0;
+  double gpu_time_cdf = 0.0;
+};
+
+[[nodiscard]] std::vector<SizeBucket> job_size_distribution(const trace::Trace& t);
+
+/// Final-status fractions per power-of-two GPU demand (Figure 7b).
+struct StatusBySize {
+  std::int32_t gpus = 1;
+  std::int64_t jobs = 0;
+  double completed = 0.0;
+  double canceled = 0.0;
+  double failed = 0.0;
+};
+
+[[nodiscard]] std::vector<StatusBySize> status_by_gpu_count(const trace::Trace& t);
+
+}  // namespace helios::analysis

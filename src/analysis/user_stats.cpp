@@ -1,0 +1,63 @@
+#include "analysis/user_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace helios::analysis {
+
+using trace::JobState;
+using trace::Trace;
+
+std::vector<UserAggregate> user_aggregates(const Trace& t) {
+  std::unordered_map<std::uint32_t, UserAggregate> agg;
+  for (const auto& j : t.jobs()) {
+    auto& u = agg[j.user];
+    u.user = j.user;
+    if (j.is_gpu_job()) {
+      u.gpu_time += j.gpu_time();
+      u.queue_delay += static_cast<double>(j.queue_delay());
+      ++u.gpu_jobs;
+      if (j.state == JobState::kCompleted) ++u.gpu_jobs_completed;
+    } else {
+      u.cpu_time += j.cpu_time();
+      ++u.cpu_jobs;
+    }
+  }
+  std::vector<UserAggregate> out;
+  out.reserve(agg.size());
+  for (auto& [id, u] : agg) out.push_back(u);
+  std::sort(out.begin(), out.end(),
+            [](const UserAggregate& a, const UserAggregate& b) {
+              return a.user < b.user;
+            });
+  return out;
+}
+
+std::vector<SharePoint> share_curve(std::vector<double> values) {
+  std::sort(values.begin(), values.end(), std::greater<>());
+  double total = 0.0;
+  for (double v : values) total += v;
+  std::vector<SharePoint> curve;
+  curve.reserve(values.size() + 1);
+  curve.push_back({0.0, 0.0});
+  double acc = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    acc += values[i];
+    curve.push_back({static_cast<double>(i + 1) / static_cast<double>(values.size()),
+                     total > 0.0 ? acc / total : 0.0});
+  }
+  return curve;
+}
+
+double top_share(const std::vector<double>& values, double top_fraction) {
+  if (values.empty()) return 0.0;
+  const auto curve = share_curve(values);
+  // Find the first curve point at or past the requested user fraction.
+  for (const auto& p : curve) {
+    if (p.user_fraction >= top_fraction) return p.value_fraction;
+  }
+  return 1.0;
+}
+
+}  // namespace helios::analysis

@@ -1,0 +1,45 @@
+// User-level characterization (paper §3.3, Figures 8 and 9).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace helios::analysis {
+
+/// Per-user aggregates over a trace.
+struct UserAggregate {
+  std::uint32_t user = 0;
+  double gpu_time = 0.0;
+  double cpu_time = 0.0;
+  double queue_delay = 0.0;  ///< summed GPU-job queuing seconds
+  std::int64_t gpu_jobs = 0;
+  std::int64_t cpu_jobs = 0;
+  std::int64_t gpu_jobs_completed = 0;
+
+  [[nodiscard]] double completion_rate() const noexcept {
+    return gpu_jobs > 0 ? static_cast<double>(gpu_jobs_completed) /
+                              static_cast<double>(gpu_jobs)
+                        : 0.0;
+  }
+};
+
+[[nodiscard]] std::vector<UserAggregate> user_aggregates(const trace::Trace& t);
+
+/// Lorenz-style concentration curve (Figures 8, 9a): users sorted by `value`
+/// descending; point i is (fraction of users <= i, fraction of total value
+/// captured by the top-i users). Zero-value users are included.
+struct SharePoint {
+  double user_fraction = 0.0;
+  double value_fraction = 0.0;
+};
+
+[[nodiscard]] std::vector<SharePoint> share_curve(std::vector<double> values);
+
+/// Fraction of the total captured by the top `top_fraction` of users
+/// (e.g. "top 5% of users occupy over 90% CPU time").
+[[nodiscard]] double top_share(const std::vector<double>& values,
+                               double top_fraction);
+
+}  // namespace helios::analysis

@@ -1,0 +1,39 @@
+// Small CSV reader/writer (RFC-4180 quoting) used for trace import/export and
+// for dumping bench series that downstream plotting scripts can consume.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace helios {
+
+class CsvWriter {
+ public:
+  /// Writes to an externally owned stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Write one row; fields are quoted only when needed.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: format doubles with enough precision to round-trip.
+  static std::string field(double v);
+  static std::string field(std::int64_t v);
+
+ private:
+  std::ostream* out_;
+};
+
+class CsvReader {
+ public:
+  /// Parse one CSV line into fields (handles quoted fields with embedded
+  /// commas/quotes; does not handle embedded newlines, which the trace format
+  /// never produces).
+  static std::vector<std::string> parse_line(std::string_view line);
+
+  /// Read all rows from a stream; skips empty lines.
+  static std::vector<std::vector<std::string>> read_all(std::istream& in);
+};
+
+}  // namespace helios

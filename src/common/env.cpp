@@ -1,0 +1,28 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace helios {
+
+double env_double(const char* name, double fallback) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return end == v ? fallback : parsed;
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  return end == v ? fallback : static_cast<std::int64_t>(parsed);
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? fallback : std::string(v);
+}
+
+}  // namespace helios

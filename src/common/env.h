@@ -1,0 +1,19 @@
+// Environment-variable knobs shared by benches/examples (e.g. HELIOS_SCALE).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace helios {
+
+/// Value of an environment variable parsed as double, or `fallback` when the
+/// variable is unset or unparsable.
+[[nodiscard]] double env_double(const char* name, double fallback) noexcept;
+
+/// Same for integers.
+[[nodiscard]] std::int64_t env_int(const char* name, std::int64_t fallback) noexcept;
+
+/// Same for strings.
+[[nodiscard]] std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace helios

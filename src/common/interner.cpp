@@ -1,0 +1,19 @@
+#include "common/interner.h"
+
+namespace helios {
+
+std::uint32_t StringInterner::intern(std::string_view s) {
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(strings_.back(), id);
+  return id;
+}
+
+std::uint32_t StringInterner::find(std::string_view s) const noexcept {
+  auto it = index_.find(std::string(s));
+  return it == index_.end() ? kNotFound : it->second;
+}
+
+}  // namespace helios

@@ -1,0 +1,44 @@
+// String interning: maps strings <-> dense integer ids.
+//
+// Job records store user / VC / job-name fields as 32-bit ids into a
+// per-trace interner, keeping records POD-sized so multi-million-job traces
+// fit comfortably in memory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace helios {
+
+class StringInterner {
+ public:
+  /// Id of `s`, inserting it if new. Ids are dense, starting at 0.
+  std::uint32_t intern(std::string_view s);
+
+  /// Id of `s` or `kNotFound` if absent.
+  [[nodiscard]] std::uint32_t find(std::string_view s) const noexcept;
+
+  /// The string for an id; `id` must be < size().
+  [[nodiscard]] const std::string& str(std::uint32_t id) const noexcept {
+    return strings_[id];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return strings_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return strings_.empty(); }
+
+  /// All interned strings in id order.
+  [[nodiscard]] const std::vector<std::string>& strings() const noexcept {
+    return strings_;
+  }
+
+  static constexpr std::uint32_t kNotFound = 0xffffffffu;
+
+ private:
+  std::unordered_map<std::string, std::uint32_t> index_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace helios

@@ -1,0 +1,177 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace helios {
+
+namespace {
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  has_cached_normal_ = false;
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::split() noexcept { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+double Rng::uniform() noexcept {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
+  // Lemire's nearly-divisionless bounded sampling; bias is negligible for
+  // the n used here but we keep the rejection loop for exactness.
+  if (n == 0) return 0;
+  const std::uint64_t threshold = (~n + 1) % n;  // 2^64 mod n
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  if (hi <= lo) return lo;
+  return lo + static_cast<std::int64_t>(
+                  uniform_index(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 1e-300) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double rate) noexcept {
+  double u = uniform();
+  while (u <= 1e-300) u = uniform();
+  return -std::log(u) / rate;
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's product-of-uniforms method.
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction; exact enough for the
+  // arrival-count use cases (mean counts per time bucket).
+  const double x = normal(mean, std::sqrt(mean));
+  return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+double Rng::pareto(double xm, double alpha) noexcept {
+  double u = uniform();
+  while (u <= 1e-300) u = uniform();
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += std::max(0.0, w);
+  if (total <= 0.0 || weights.empty()) return 0;
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= std::max(0.0, weights[i]);
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+CategoricalSampler::CategoricalSampler(std::span<const double> weights) {
+  cdf_.reserve(weights.size());
+  double acc = 0.0;
+  for (double w : weights) {
+    acc += std::max(0.0, w);
+    cdf_.push_back(acc);
+  }
+}
+
+std::size_t CategoricalSampler::sample(Rng& rng) const noexcept {
+  if (cdf_.empty() || cdf_.back() <= 0.0) return 0;
+  const double x = rng.uniform() * cdf_.back();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), x);
+  return static_cast<std::size_t>(std::min<std::ptrdiff_t>(
+      it - cdf_.begin(), static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+double CategoricalSampler::probability(std::size_t i) const noexcept {
+  if (i >= cdf_.size() || cdf_.back() <= 0.0) return 0.0;
+  const double lo = i == 0 ? 0.0 : cdf_[i - 1];
+  return (cdf_[i] - lo) / cdf_.back();
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  cdf_.reserve(n);
+  double acc = 0.0;
+  for (std::size_t rank = 1; rank <= n; ++rank) {
+    acc += 1.0 / std::pow(static_cast<double>(rank), s);
+    cdf_.push_back(acc);
+  }
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const noexcept {
+  if (cdf_.empty()) return 0;
+  const double x = rng.uniform() * cdf_.back();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), x);
+  return static_cast<std::size_t>(std::min<std::ptrdiff_t>(
+      it - cdf_.begin(), static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+}  // namespace helios

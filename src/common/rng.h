@@ -1,0 +1,108 @@
+// Deterministic pseudo-random number generation and samplers.
+//
+// All stochastic components of the library (trace synthesis, GBDT row
+// subsampling, ...) draw from this engine so that every experiment is
+// reproducible from a single seed across platforms. std::* distributions are
+// implementation-defined, so the samplers here are hand-rolled.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace helios {
+
+/// xoshiro256** by Blackman & Vigna, seeded via SplitMix64.
+/// Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Derive an independent stream (for per-worker / per-cluster RNGs).
+  [[nodiscard]] Rng split() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [0, n); n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Bernoulli trial.
+  bool bernoulli(double p) noexcept;
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal() noexcept;
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev) noexcept;
+  /// Log-normal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma) noexcept;
+  /// Exponential with given rate (mean = 1/rate).
+  double exponential(double rate) noexcept;
+  /// Poisson count with given mean (Knuth for small, normal approx for large).
+  std::uint64_t poisson(double mean) noexcept;
+  /// Pareto with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha) noexcept;
+
+  /// Index sampled from unnormalised non-negative weights. Empty or all-zero
+  /// weights return 0.
+  std::size_t categorical(std::span<const double> weights) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[uniform_index(i)]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4]{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Precomputed alias-free sampler for a fixed categorical distribution:
+/// O(log n) per draw via a cumulative table. Suitable when the same
+/// distribution is sampled millions of times (job-size mixes etc.).
+class CategoricalSampler {
+ public:
+  CategoricalSampler() = default;
+  explicit CategoricalSampler(std::span<const double> weights);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return cdf_.empty(); }
+  /// Probability of category i (normalised).
+  [[nodiscard]] double probability(std::size_t i) const noexcept;
+
+ private:
+  std::vector<double> cdf_;  // strictly increasing, back() == total weight
+};
+
+/// Zipf(s) distribution over ranks 1..n via precomputed CDF. Used for user
+/// activity skew (a few users dominate submissions / resource usage).
+class ZipfSampler {
+ public:
+  ZipfSampler() = default;
+  ZipfSampler(std::size_t n, double s);
+
+  /// Returns a 0-based rank in [0, n).
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace helios

@@ -1,0 +1,40 @@
+// Aligned plain-text tables for bench / example output.
+//
+// Every reproduction harness prints its table or figure series through this
+// formatter so the output is diff-able and matches the row/column layout of
+// the paper's tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace helios {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; shorter rows are padded with empty cells.
+  void add_row(std::vector<std::string> row);
+
+  /// Numeric convenience cells.
+  static std::string cell(double v, int precision = 2);
+  static std::string cell(std::int64_t v);
+  /// Thousands-separated integer ("1,753,000") matching the paper's style.
+  static std::string cell_grouped(std::int64_t v);
+  /// Percentage with one decimal ("82.1%").
+  static std::string cell_pct(double fraction, int precision = 1);
+
+  /// Render with column alignment and a header rule.
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace helios

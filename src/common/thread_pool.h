@@ -1,0 +1,61 @@
+// Minimal fixed-size thread pool with a blocking parallel_for.
+//
+// The heavy kernels (GBDT histogram builds, trace generation per cluster,
+// backtests) are embarrassingly parallel over ranges; parallel_for splits
+// [begin, end) into contiguous chunks and runs them on the pool. The pool is
+// shared process-wide via global_pool() so nested code reuses threads instead
+// of oversubscribing the (possibly small) machine.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace helios {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` uses hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide pool (lazily constructed, sized to hardware concurrency).
+ThreadPool& global_pool();
+
+/// Runs fn(i) for i in [begin, end) across the global pool and blocks until
+/// done. Chunks are contiguous; `grain` is the minimum chunk size. Exceptions
+/// from fn propagate to the caller (first one wins).
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 1024);
+
+/// Runs fn(chunk_begin, chunk_end) over contiguous chunks — useful when the
+/// body wants to maintain per-chunk scratch state.
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& fn,
+                         std::size_t grain = 1024);
+
+}  // namespace helios

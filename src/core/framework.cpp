@@ -1,0 +1,21 @@
+#include "core/framework.h"
+
+namespace helios::core {
+
+Service& PredictionFramework::register_service(std::unique_ptr<Service> service) {
+  services_.push_back(std::move(service));
+  return *services_.back();
+}
+
+Service* PredictionFramework::find(const std::string& name) noexcept {
+  for (auto& s : services_) {
+    if (s->name() == name) return s.get();
+  }
+  return nullptr;
+}
+
+void PredictionFramework::update_all(const trace::Trace& new_data) {
+  for (auto& s : services_) s->update(new_data);
+}
+
+}  // namespace helios::core

@@ -1,0 +1,60 @@
+// The prediction-based cluster management framework (paper §4.1, Figure 10).
+//
+// A centralized manager atop each GPU cluster, holding plug-and-play
+// services. Each service owns a machine-learning model trained on historical
+// data; the Resource Orchestrator consults the service for decisions
+// (job priorities, node power actions) and the Model Update Engine feeds
+// run-time data back to keep models fresh.
+//
+// The two case-study services of the paper live in qssf_service.h (Quasi-
+// Shortest-Service-First scheduling) and ces_service.h (Cluster Energy
+// Saving); both implement the Service interface below so they can be managed
+// uniformly, and further services can be plugged in the same way.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace helios::core {
+
+/// A pluggable prediction-driven resource-management service.
+class Service {
+ public:
+  virtual ~Service() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Model Update Engine hook: absorb newly finished jobs / fresh cluster
+  /// state and refresh the underlying model.
+  virtual void update(const trace::Trace& new_data) = 0;
+};
+
+class PredictionFramework {
+ public:
+  explicit PredictionFramework(std::string cluster_name)
+      : cluster_name_(std::move(cluster_name)) {}
+
+  /// Register a service; the framework takes ownership. Returns a reference
+  /// for immediate configuration.
+  Service& register_service(std::unique_ptr<Service> service);
+
+  [[nodiscard]] Service* find(const std::string& name) noexcept;
+  [[nodiscard]] std::size_t service_count() const noexcept {
+    return services_.size();
+  }
+  [[nodiscard]] const std::string& cluster_name() const noexcept {
+    return cluster_name_;
+  }
+
+  /// Model Update Engine: push fresh data to every registered service.
+  void update_all(const trace::Trace& new_data);
+
+ private:
+  std::string cluster_name_;
+  std::vector<std::unique_ptr<Service>> services_;
+};
+
+}  // namespace helios::core

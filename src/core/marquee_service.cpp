@@ -1,0 +1,44 @@
+#include "core/marquee_service.h"
+
+#include "analysis/user_stats.h"
+
+namespace helios::core {
+
+void MarqueeService::update(const trace::Trace& operated) {
+  marquee_.clear();
+  const auto users = analysis::user_aggregates(operated);
+  double total_delay = 0.0;
+  double total_gpu_time = 0.0;
+  for (const auto& u : users) {
+    total_delay += u.queue_delay;
+    total_gpu_time += u.gpu_time;
+  }
+  if (total_delay <= 0.0) return;
+  for (const auto& u : users) {
+    const double delay_share = u.queue_delay / total_delay;
+    const double gpu_share =
+        total_gpu_time > 0.0 ? u.gpu_time / total_gpu_time : 0.0;
+    if (delay_share >= config_.queue_share_threshold &&
+        gpu_share <= config_.gpu_share_ceiling) {
+      marquee_.emplace(operated.users().str(u.user), true);
+    }
+  }
+}
+
+bool MarqueeService::is_marquee(const std::string& user) const {
+  return marquee_.find(user) != marquee_.end();
+}
+
+double MarqueeService::multiplier(const trace::Trace& t,
+                                  const trace::JobRecord& job) const {
+  return is_marquee(t.user_name(job)) ? config_.priority_boost : 1.0;
+}
+
+sim::PriorityFn MarqueeService::adjust(sim::PriorityFn base,
+                                       const trace::Trace& t) const {
+  return [this, base = std::move(base), &t](const trace::JobRecord& job) {
+    return base(job) * multiplier(t, job);
+  };
+}
+
+}  // namespace helios::core

@@ -1,0 +1,28 @@
+// Datacenter power/energy accounting (paper §4.3.3).
+//
+// Constants follow the paper: an idle DGX-1 class server draws ~800 W (read
+// from the BMC PSU inputs), and datacenter cooling consumes about twice the
+// server energy, so every server-watt saved is worth ~3 facility-watts.
+#pragma once
+
+namespace helios::core {
+
+struct PowerModel {
+  double idle_node_watts = 800.0;
+  /// Facility multiplier: server + 2x cooling.
+  double facility_factor = 3.0;
+
+  /// Energy saved by keeping nodes asleep for the given node-seconds,
+  /// in kWh (includes the cooling share).
+  [[nodiscard]] double saved_kwh(double sleeping_node_seconds) const noexcept {
+    return sleeping_node_seconds / 3600.0 * (idle_node_watts / 1000.0) *
+           facility_factor;
+  }
+
+  /// Extrapolate a measured saving over `measured_days` to a full year.
+  [[nodiscard]] double annualized_kwh(double kwh, double measured_days) const noexcept {
+    return measured_days > 0.0 ? kwh * 365.0 / measured_days : 0.0;
+  }
+};
+
+}  // namespace helios::core

@@ -1,0 +1,222 @@
+#include "core/qssf_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/civil_time.h"
+
+namespace helios::core {
+
+using trace::JobRecord;
+using trace::Trace;
+
+ml::GBDTConfig QssfConfig::default_gbdt_config() {
+  ml::GBDTConfig cfg;
+  cfg.n_trees = 60;
+  cfg.max_depth = 6;
+  cfg.learning_rate = 0.12;
+  cfg.min_samples_leaf = 30;
+  cfg.subsample = 0.7;
+  cfg.max_bins = 64;
+  cfg.max_training_rows = 200'000;  // keeps multi-month fits to seconds
+  return cfg;
+}
+
+QssfService::QssfService(QssfConfig config)
+    : config_(config),
+      model_(config.gbdt),
+      name_buckets_(config.name_match_threshold, /*prefix_len=*/6) {}
+
+void QssfService::encode(const Trace& t, const JobRecord& job,
+                         std::vector<double>& out) const {
+  out.clear();
+  out.reserve(kFeatureCount);
+  const CivilTime c = to_civil(job.submit_time);
+  out.push_back(static_cast<double>(job.num_gpus));
+  out.push_back(static_cast<double>(job.num_cpus));
+  out.push_back(static_cast<double>(job.vc));
+  out.push_back(static_cast<double>(job.user));
+  out.push_back(config_.use_names
+                    ? static_cast<double>(name_buckets_.bucket(t.job_name(job)))
+                    : 0.0);
+  out.push_back(static_cast<double>(c.month));
+  out.push_back(static_cast<double>(c.weekday));
+  out.push_back(static_cast<double>(c.hour));
+  out.push_back(static_cast<double>(c.minute));
+}
+
+const QssfService::NameEntry* QssfService::find_name(
+    const UserHistory& u, const std::string& name) const {
+  const NameEntry* best = nullptr;
+  double best_dist = config_.name_match_threshold;
+  for (const auto& e : u.names) {
+    if (e.name == name) return &e;  // exact hit wins immediately
+    const auto limit = static_cast<std::size_t>(std::floor(
+        config_.name_match_threshold *
+        static_cast<double>(std::max(e.name.size(), name.size()))));
+    if (!ml::within_distance(e.name, name, limit)) continue;
+    const double d = ml::normalized_levenshtein(e.name, name);
+    if (d <= best_dist) {
+      best_dist = d;
+      best = &e;
+    }
+  }
+  return best;
+}
+
+QssfService::NameEntry* QssfService::find_name_mutable(UserHistory& u,
+                                                       const std::string& name) {
+  return const_cast<NameEntry*>(find_name(u, name));
+}
+
+void QssfService::observe(const Trace& t, const JobRecord& job) {
+  if (!job.is_gpu_job()) return;
+  const double dur = static_cast<double>(job.duration);
+  ++observe_counter_;
+
+  auto& g = global_by_gpus_[job.num_gpus];
+  g.first += dur;
+  ++g.second;
+  global_duration_sum_ += dur;
+  ++global_jobs_;
+
+  UserHistory& u = users_[t.user_name(job)];
+  auto& ug = u.by_gpus[job.num_gpus];
+  ug.first += dur;
+  ++ug.second;
+  u.duration_sum += dur;
+  ++u.jobs;
+
+  if (!config_.use_names) return;  // limited-information mode
+  const std::string& name = t.job_name(job);
+  if (NameEntry* e = find_name_mutable(u, name)) {
+    // Exponentially-weighted rolling duration (newest dominates).
+    e->ewma_duration = config_.rolling_decay * e->ewma_duration +
+                       (1.0 - config_.rolling_decay) * dur;
+    e->weight = config_.rolling_decay * e->weight + (1.0 - config_.rolling_decay);
+    e->last_seen = observe_counter_;
+  } else {
+    if (u.names.size() >= config_.max_names_per_user) {
+      // Evict the least-recently-seen entry.
+      auto oldest = std::min_element(u.names.begin(), u.names.end(),
+                                     [](const NameEntry& a, const NameEntry& b) {
+                                       return a.last_seen < b.last_seen;
+                                     });
+      u.names.erase(oldest);
+    }
+    NameEntry fresh;
+    fresh.name = name;
+    fresh.ewma_duration = (1.0 - config_.rolling_decay) * dur;
+    fresh.weight = 1.0 - config_.rolling_decay;
+    fresh.last_seen = observe_counter_;
+    u.names.push_back(std::move(fresh));
+  }
+}
+
+void QssfService::fit(const Trace& history) {
+  // Rolling structures.
+  for (const auto& job : history.jobs()) observe(history, job);
+
+  // GBDT on log-duration.
+  ml::Dataset data(kFeatureCount);
+  std::vector<double> row;
+  for (const auto& job : history.jobs()) {
+    if (!job.is_gpu_job()) continue;
+    encode(history, job, row);
+    data.add_row(row, std::log1p(static_cast<double>(job.duration)));
+  }
+  model_.fit(data);
+}
+
+void QssfService::update(const Trace& new_data) { fit(new_data); }
+
+double QssfService::rolling_estimate(const Trace& t, const JobRecord& job) const {
+  const auto user_it = users_.find(t.user_name(job));
+  if (user_it == users_.end()) {
+    // New user: cluster-wide mean duration for this GPU demand (line 14).
+    const auto it = global_by_gpus_.find(job.num_gpus);
+    if (it != global_by_gpus_.end() && it->second.second > 0) {
+      return it->second.first / static_cast<double>(it->second.second);
+    }
+    return global_jobs_ > 0 ? global_duration_sum_ / static_cast<double>(global_jobs_)
+                            : 600.0;
+  }
+  const UserHistory& u = user_it->second;
+  if (config_.use_names) {
+    if (const NameEntry* e = find_name(u, t.job_name(job));
+        e != nullptr && e->weight > 0.0) {
+      // Similar name: exponentially-weighted decay of its durations (line 18).
+      return e->ewma_duration / e->weight;
+    }
+  }
+  // Known user, new job name: user's mean for this GPU demand (line 16).
+  const auto it = u.by_gpus.find(job.num_gpus);
+  if (it != u.by_gpus.end() && it->second.second > 0) {
+    return it->second.first / static_cast<double>(it->second.second);
+  }
+  return u.jobs > 0 ? u.duration_sum / static_cast<double>(u.jobs) : 600.0;
+}
+
+double QssfService::ml_estimate(const Trace& t, const JobRecord& job) const {
+  if (!model_.trained()) return rolling_estimate(t, job);
+  std::vector<double> row;
+  encode(t, job, row);
+  return std::max(1.0, std::expm1(model_.predict(row)));
+}
+
+double QssfService::predict_duration(const Trace& t, const JobRecord& job) const {
+  const double pr = rolling_estimate(t, job);
+  const double pm = ml_estimate(t, job);
+  return config_.lambda * pr + (1.0 - config_.lambda) * pm;
+}
+
+double QssfService::priority(const Trace& t, const JobRecord& job) const {
+  return static_cast<double>(std::max(1, job.num_gpus)) *
+         predict_duration(t, job);
+}
+
+// ---------------------------------------------------------------------------
+// OnlinePriorityEvaluator
+// ---------------------------------------------------------------------------
+
+OnlinePriorityEvaluator::OnlinePriorityEvaluator(QssfService& service,
+                                                 const Trace& eval) {
+  struct Pending {
+    std::int64_t finish = 0;
+    std::size_t index = 0;
+    bool operator>(const Pending& o) const noexcept { return finish > o.finish; }
+  };
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> pending;
+
+  priorities_.reserve(eval.size());
+  for (std::size_t i = 0; i < eval.size(); ++i) {
+    const JobRecord& job = eval.jobs()[i];
+    if (!job.is_gpu_job()) continue;
+    // Fold in every job that has (approximately) finished by now; queuing
+    // delay is unknown at this point, so submit+duration approximates the
+    // termination feed of the Model Update Engine.
+    while (!pending.empty() && pending.top().finish <= job.submit_time) {
+      service.observe(eval, eval.jobs()[pending.top().index]);
+      pending.pop();
+    }
+    const double p = service.priority(eval, job);
+    priorities_.emplace(job.job_id, p);
+    predicted_.push_back(p);
+    actual_.push_back(job.gpu_time());
+    pending.push({job.submit_time + job.duration, i});
+  }
+}
+
+double OnlinePriorityEvaluator::priority_of(const JobRecord& job) const {
+  const auto it = priorities_.find(job.job_id);
+  return it != priorities_.end()
+             ? it->second
+             : static_cast<double>(job.num_gpus) * 600.0;
+}
+
+sim::PriorityFn OnlinePriorityEvaluator::as_priority_fn() const {
+  return [this](const JobRecord& job) { return priority_of(job); };
+}
+
+}  // namespace helios::core

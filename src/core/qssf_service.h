@@ -1,0 +1,151 @@
+// Quasi-Shortest-Service-First scheduling service (paper §4.2, Algorithm 1).
+//
+// Assigns every incoming job a priority P = N * (λ * P_R + (1-λ) * P_M):
+//   * P_R — rolling estimate from the user's history:
+//       - unknown user           -> mean duration of all jobs with the same
+//                                   GPU demand,
+//       - user known, new name   -> mean duration of this user's jobs with
+//                                   the same GPU demand,
+//       - similar name found     -> exponentially-weighted mean of the
+//                                   durations of name-matched jobs
+//                                   (Levenshtein similarity),
+//   * P_M — GBDT estimate from encoded job attributes (user, VC, bucketized
+//     name, GPU/CPU demand, submission-time calendar features),
+//   * N   — requested GPU count, turning the duration estimate into expected
+//     GPU time (the paper ranks by GPU time, not duration, so that large
+//     short jobs don't starve behind small ones).
+// The scheduler then runs jobs in ascending priority (sim::SchedulerPolicy::
+// kQssf). Lower P = expected-shorter service = runs first.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/framework.h"
+#include "ml/gbdt.h"
+#include "ml/levenshtein.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+
+namespace helios::core {
+
+struct QssfConfig {
+  /// Merge coefficient λ between the rolling and the GBDT estimate.
+  double lambda = 0.45;
+  /// Normalised Levenshtein distance below which two job names "match".
+  /// 0.20 keeps "_v2"-style variants together while separating different
+  /// templates of the same user ("train_bert" vs "eval_bert").
+  double name_match_threshold = 0.20;
+  /// Exponential decay applied to older name-matched durations.
+  double rolling_decay = 0.75;
+  /// Per-user cap on remembered name entries (oldest evicted).
+  std::size_t max_names_per_user = 64;
+  /// GBDT hyper-parameters; max_training_rows caps fit cost on huge traces.
+  ml::GBDTConfig gbdt = default_gbdt_config();
+  /// Limited-information mode (paper §6.2 future work: "some attributes in
+  /// our services may not be available in other clusters"): when false, job
+  /// names are ignored — the rolling estimator skips name matching and the
+  /// GBDT drops the name-bucket feature.
+  bool use_names = true;
+
+  [[nodiscard]] static ml::GBDTConfig default_gbdt_config();
+};
+
+class QssfService final : public Service {
+ public:
+  explicit QssfService(QssfConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "qssf"; }
+
+  /// Train the GBDT and seed the rolling estimator from a historical trace
+  /// (the paper trains on April-August and evaluates on September).
+  void fit(const trace::Trace& history);
+
+  /// Model Update Engine hook: absorb finished jobs into the rolling
+  /// estimator and refresh the GBDT.
+  void update(const trace::Trace& new_data) override;
+
+  /// Absorb a single finished job into the rolling estimator (no GBDT refit).
+  void observe(const trace::Trace& t, const trace::JobRecord& job);
+
+  /// Expected duration (seconds) of an incoming job.
+  [[nodiscard]] double predict_duration(const trace::Trace& t,
+                                        const trace::JobRecord& job) const;
+
+  /// Algorithm 1's Priority(): expected GPU time, lower first.
+  [[nodiscard]] double priority(const trace::Trace& t,
+                                const trace::JobRecord& job) const;
+
+  /// Rolling estimate alone / GBDT estimate alone (for the λ ablation).
+  [[nodiscard]] double rolling_estimate(const trace::Trace& t,
+                                        const trace::JobRecord& job) const;
+  [[nodiscard]] double ml_estimate(const trace::Trace& t,
+                                   const trace::JobRecord& job) const;
+
+  [[nodiscard]] const QssfConfig& config() const noexcept { return config_; }
+  [[nodiscard]] bool trained() const noexcept { return model_.trained(); }
+
+ private:
+  struct NameEntry {
+    std::string name;
+    double ewma_duration = 0.0;
+    double weight = 0.0;
+    std::uint64_t last_seen = 0;  // insertion counter, for eviction
+  };
+  struct UserHistory {
+    std::unordered_map<int, std::pair<double, std::int64_t>> by_gpus;  // sum, n
+    double duration_sum = 0.0;
+    std::int64_t jobs = 0;
+    std::vector<NameEntry> names;
+  };
+
+  static constexpr std::size_t kFeatureCount = 9;
+  void encode(const trace::Trace& t, const trace::JobRecord& job,
+              std::vector<double>& out) const;
+  [[nodiscard]] const NameEntry* find_name(const UserHistory& u,
+                                           const std::string& name) const;
+  NameEntry* find_name_mutable(UserHistory& u, const std::string& name);
+
+  QssfConfig config_;
+  ml::GBDTRegressor model_;
+  mutable ml::NameBucketizer name_buckets_;  // grows lazily at predict time
+  std::unordered_map<std::string, UserHistory> users_;
+  std::unordered_map<int, std::pair<double, std::int64_t>> global_by_gpus_;
+  double global_duration_sum_ = 0.0;
+  std::int64_t global_jobs_ = 0;
+  std::uint64_t observe_counter_ = 0;
+};
+
+/// Evaluates QSSF priorities for a stream of jobs in submission order while
+/// honouring causality: a job is folded into the rolling estimator only once
+/// its (approximate) finish time submit+duration has passed. This mirrors
+/// the deployed Model Update Engine, which fine-tunes from jobs as they
+/// terminate. Returns a PriorityFn suitable for sim::SimConfig after
+/// precomputing priorities for every GPU job of `eval`.
+class OnlinePriorityEvaluator {
+ public:
+  OnlinePriorityEvaluator(QssfService& service, const trace::Trace& eval);
+
+  /// Priority for a trace job (precomputed; keyed by job_id).
+  [[nodiscard]] double priority_of(const trace::JobRecord& job) const;
+
+  /// Adapter for the simulator.
+  [[nodiscard]] sim::PriorityFn as_priority_fn() const;
+
+  /// Prediction quality over the evaluated jobs: predicted vs actual GPU time.
+  [[nodiscard]] const std::vector<double>& predicted_gpu_time() const noexcept {
+    return predicted_;
+  }
+  [[nodiscard]] const std::vector<double>& actual_gpu_time() const noexcept {
+    return actual_;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, double> priorities_;
+  std::vector<double> predicted_;
+  std::vector<double> actual_;
+};
+
+}  // namespace helios::core

@@ -1,0 +1,58 @@
+// Dense row-major dataset used by the ML models.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace helios::ml {
+
+class Dataset;
+
+/// Result of a random train/test row split.
+struct DatasetSplit;
+
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::size_t n_features) : n_features_(n_features) {}
+
+  /// Append one row; `features.size()` must equal n_features().
+  void add_row(std::span<const double> features, double target);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return y_.size(); }
+  [[nodiscard]] std::size_t features() const noexcept { return n_features_; }
+  [[nodiscard]] bool empty() const noexcept { return y_.empty(); }
+
+  [[nodiscard]] double at(std::size_t row, std::size_t col) const noexcept {
+    return x_[row * n_features_ + col];
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept {
+    return {x_.data() + r * n_features_, n_features_};
+  }
+  [[nodiscard]] double target(std::size_t r) const noexcept { return y_[r]; }
+  [[nodiscard]] std::span<const double> targets() const noexcept { return y_; }
+
+  void reserve(std::size_t n) {
+    x_.reserve(n * n_features_);
+    y_.reserve(n);
+  }
+
+  /// Deterministic row-level split: each row goes to train with probability
+  /// `train_fraction`.
+  [[nodiscard]] DatasetSplit split(double train_fraction, Rng& rng) const;
+
+ private:
+  std::size_t n_features_ = 0;
+  std::vector<double> x_;
+  std::vector<double> y_;
+};
+
+struct DatasetSplit {
+  Dataset train;
+  Dataset test;
+};
+
+}  // namespace helios::ml

@@ -1,0 +1,319 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/thread_pool.h"
+
+namespace helios::ml {
+
+// ---------------------------------------------------------------------------
+// FeatureBinner
+// ---------------------------------------------------------------------------
+
+void FeatureBinner::fit(const Dataset& data, int max_bins, Rng& rng) {
+  const std::size_t n = data.rows();
+  const std::size_t p = data.features();
+  edges_.assign(p, {});
+  if (n == 0 || max_bins < 2) return;
+
+  // Quantile edges from a sample (binning fidelity does not need all rows).
+  constexpr std::size_t kSampleCap = 60'000;
+  std::vector<std::size_t> sample_rows;
+  if (n <= kSampleCap) {
+    sample_rows.resize(n);
+    std::iota(sample_rows.begin(), sample_rows.end(), 0);
+  } else {
+    sample_rows.reserve(kSampleCap);
+    for (std::size_t i = 0; i < kSampleCap; ++i) {
+      sample_rows.push_back(rng.uniform_index(n));
+    }
+  }
+
+  for (std::size_t f = 0; f < p; ++f) {
+    std::vector<double> values;
+    values.reserve(sample_rows.size());
+    for (std::size_t r : sample_rows) values.push_back(data.at(r, f));
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    auto& edges = edges_[f];
+    if (values.size() <= static_cast<std::size_t>(max_bins)) {
+      // Few distinct values: one bin per value (categorical-friendly).
+      edges.assign(values.begin(), values.size() > 1 ? values.end() - 1
+                                                     : values.begin());
+    } else {
+      edges.reserve(static_cast<std::size_t>(max_bins) - 1);
+      for (int b = 1; b < max_bins; ++b) {
+        const std::size_t idx =
+            values.size() * static_cast<std::size_t>(b) / static_cast<std::size_t>(max_bins);
+        const double e = values[std::min(idx, values.size() - 1)];
+        if (edges.empty() || e > edges.back()) edges.push_back(e);
+      }
+    }
+  }
+}
+
+std::uint8_t FeatureBinner::bin(std::size_t feature, double value) const noexcept {
+  const auto& edges = edges_[feature];
+  const auto it = std::lower_bound(edges.begin(), edges.end(), value);
+  return static_cast<std::uint8_t>(it - edges.begin());
+}
+
+// ---------------------------------------------------------------------------
+// RegressionTree
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct SplitDecision {
+  double gain = 0.0;
+  std::int32_t feature = -1;
+  int bin = -1;  // go left iff bin(value) <= bin
+};
+
+/// Best split for one feature from its gradient histogram.
+SplitDecision best_split_for_feature(std::span<const double> hist_sum,
+                                     std::span<const std::int32_t> hist_cnt,
+                                     double total_sum, std::int64_t total_cnt,
+                                     std::int32_t feature,
+                                     const GBDTConfig& cfg) {
+  SplitDecision best;
+  const double parent_score =
+      total_sum * total_sum / (static_cast<double>(total_cnt) + cfg.lambda);
+  double left_sum = 0.0;
+  std::int64_t left_cnt = 0;
+  for (std::size_t b = 0; b + 1 < hist_cnt.size(); ++b) {
+    left_sum += hist_sum[b];
+    left_cnt += hist_cnt[b];
+    const std::int64_t right_cnt = total_cnt - left_cnt;
+    if (left_cnt < cfg.min_samples_leaf) continue;
+    if (right_cnt < cfg.min_samples_leaf) break;
+    const double right_sum = total_sum - left_sum;
+    const double score =
+        left_sum * left_sum / (static_cast<double>(left_cnt) + cfg.lambda) +
+        right_sum * right_sum / (static_cast<double>(right_cnt) + cfg.lambda);
+    const double gain = score - parent_score;
+    if (gain > best.gain) {
+      best.gain = gain;
+      best.feature = feature;
+      best.bin = static_cast<int>(b);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::int32_t RegressionTree::build(std::span<const std::uint8_t> bins,
+                                   std::size_t n_rows, const FeatureBinner& binner,
+                                   std::span<const double> residuals,
+                                   std::span<std::uint32_t> rows, int depth,
+                                   const GBDTConfig& cfg) {
+  const auto node_id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+
+  double total_sum = 0.0;
+  for (std::uint32_t r : rows) total_sum += residuals[r];
+  const auto total_cnt = static_cast<std::int64_t>(rows.size());
+
+  auto make_leaf = [&] {
+    nodes_[static_cast<std::size_t>(node_id)].value =
+        total_sum / (static_cast<double>(total_cnt) + cfg.lambda);
+    return node_id;
+  };
+
+  if (depth >= cfg.max_depth ||
+      total_cnt < 2 * static_cast<std::int64_t>(cfg.min_samples_leaf)) {
+    return make_leaf();
+  }
+
+  // Per-feature gradient histograms; parallel across features for big nodes.
+  const std::size_t p = binner.features();
+  std::vector<SplitDecision> decisions(p);
+  const auto eval_feature = [&](std::size_t f) {
+    const int n_bins = binner.bins(f);
+    std::vector<double> hist_sum(static_cast<std::size_t>(n_bins), 0.0);
+    std::vector<std::int32_t> hist_cnt(static_cast<std::size_t>(n_bins), 0);
+    const std::uint8_t* col = bins.data() + f * n_rows;
+    for (std::uint32_t r : rows) {
+      const std::uint8_t b = col[r];
+      hist_sum[b] += residuals[r];
+      ++hist_cnt[b];
+    }
+    decisions[f] = best_split_for_feature(hist_sum, hist_cnt, total_sum,
+                                          total_cnt, static_cast<std::int32_t>(f),
+                                          cfg);
+  };
+  if (rows.size() >= 20'000 && p >= 4) {
+    parallel_for(0, p, eval_feature, /*grain=*/1);
+  } else {
+    for (std::size_t f = 0; f < p; ++f) eval_feature(f);
+  }
+
+  SplitDecision best;
+  for (const auto& d : decisions) {
+    if (d.gain > best.gain) best = d;
+  }
+  if (best.feature < 0 || best.gain <= 1e-12) return make_leaf();
+
+  const std::uint8_t* col =
+      bins.data() + static_cast<std::size_t>(best.feature) * n_rows;
+  const auto mid = std::partition(rows.begin(), rows.end(), [&](std::uint32_t r) {
+    return col[r] <= best.bin;
+  });
+  const auto left_rows = rows.subspan(0, static_cast<std::size_t>(mid - rows.begin()));
+  const auto right_rows = rows.subspan(static_cast<std::size_t>(mid - rows.begin()));
+  if (left_rows.empty() || right_rows.empty()) return make_leaf();
+
+  {
+    auto& node = nodes_[static_cast<std::size_t>(node_id)];
+    node.feature = best.feature;
+    node.threshold = binner.edge(static_cast<std::size_t>(best.feature), best.bin);
+    node.gain = best.gain;
+  }
+  const std::int32_t left =
+      build(bins, n_rows, binner, residuals, left_rows, depth + 1, cfg);
+  const std::int32_t right =
+      build(bins, n_rows, binner, residuals, right_rows, depth + 1, cfg);
+  auto& node = nodes_[static_cast<std::size_t>(node_id)];
+  node.left = left;
+  node.right = right;
+  return node_id;
+}
+
+void RegressionTree::fit(std::span<const std::uint8_t> bins, std::size_t n_rows,
+                         const FeatureBinner& binner,
+                         std::span<const double> residuals,
+                         std::vector<std::uint32_t> rows, const GBDTConfig& cfg) {
+  nodes_.clear();
+  if (rows.empty()) return;
+  build(bins, n_rows, binner, residuals, rows, 0, cfg);
+}
+
+double RegressionTree::predict(std::span<const double> features) const noexcept {
+  if (nodes_.empty()) return 0.0;
+  std::int32_t i = 0;
+  for (;;) {
+    const Node& n = nodes_[static_cast<std::size_t>(i)];
+    if (n.feature < 0) return n.value;
+    i = features[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                                     : n.right;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GBDTRegressor
+// ---------------------------------------------------------------------------
+
+void GBDTRegressor::fit(const Dataset& full_data) {
+  trees_.clear();
+  train_rmse_.clear();
+  n_features_ = full_data.features();
+  base_prediction_ = 0.0;
+  if (full_data.empty()) return;
+
+  Rng rng(config_.seed);
+
+  // Optional row cap: train on a uniform subsample of the data.
+  const Dataset* data = &full_data;
+  Dataset capped(full_data.features());
+  if (config_.max_training_rows > 0 &&
+      full_data.rows() > config_.max_training_rows) {
+    capped.reserve(config_.max_training_rows);
+    const double keep = static_cast<double>(config_.max_training_rows) /
+                        static_cast<double>(full_data.rows());
+    for (std::size_t r = 0; r < full_data.rows(); ++r) {
+      if (rng.bernoulli(keep)) capped.add_row(full_data.row(r), full_data.target(r));
+    }
+    data = &capped;
+  }
+  const std::size_t n = data->rows();
+
+  double mean = 0.0;
+  for (std::size_t r = 0; r < n; ++r) mean += data->target(r);
+  base_prediction_ = mean / static_cast<double>(n);
+
+  FeatureBinner binner;
+  binner.fit(*data, config_.max_bins, rng);
+
+  // Column-major binned matrix.
+  std::vector<std::uint8_t> bins(n * n_features_);
+  parallel_for_chunks(0, n_features_, [&](std::size_t f_lo, std::size_t f_hi) {
+    for (std::size_t f = f_lo; f < f_hi; ++f) {
+      std::uint8_t* col = bins.data() + f * n;
+      for (std::size_t r = 0; r < n; ++r) col[r] = binner.bin(f, data->at(r, f));
+    }
+  }, /*grain=*/1);
+
+  std::vector<double> prediction(n, base_prediction_);
+  std::vector<double> residuals(n, 0.0);
+
+  trees_.reserve(static_cast<std::size_t>(config_.n_trees));
+  for (int t = 0; t < config_.n_trees; ++t) {
+    double sq = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      residuals[r] = data->target(r) - prediction[r];
+      sq += residuals[r] * residuals[r];
+    }
+    train_rmse_.push_back(std::sqrt(sq / static_cast<double>(n)));
+
+    std::vector<std::uint32_t> rows;
+    rows.reserve(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (config_.subsample >= 1.0 || rng.bernoulli(config_.subsample)) {
+        rows.push_back(static_cast<std::uint32_t>(r));
+      }
+    }
+    if (rows.size() < static_cast<std::size_t>(2 * config_.min_samples_leaf)) break;
+
+    RegressionTree tree;
+    tree.fit(bins, n, binner, residuals, std::move(rows), config_);
+    if (tree.empty()) break;
+
+    // Update predictions with the shrunk tree output. Walking the binned
+    // matrix directly avoids re-binning raw features.
+    for (std::size_t r = 0; r < n; ++r) {
+      std::int32_t i = 0;
+      const auto& nodes = tree.nodes();
+      while (nodes[static_cast<std::size_t>(i)].feature >= 0) {
+        const auto& node = nodes[static_cast<std::size_t>(i)];
+        const double v = data->at(r, static_cast<std::size_t>(node.feature));
+        i = v <= node.threshold ? node.left : node.right;
+      }
+      prediction[r] +=
+          config_.learning_rate * nodes[static_cast<std::size_t>(i)].value;
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GBDTRegressor::predict(std::span<const double> features) const noexcept {
+  double out = base_prediction_;
+  for (const auto& tree : trees_) {
+    out += config_.learning_rate * tree.predict(features);
+  }
+  return out;
+}
+
+std::vector<double> GBDTRegressor::predict_many(const Dataset& data) const {
+  std::vector<double> out(data.rows());
+  parallel_for_chunks(0, data.rows(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) out[r] = predict(data.row(r));
+  }, /*grain=*/4096);
+  return out;
+}
+
+std::vector<double> GBDTRegressor::feature_importance() const {
+  std::vector<double> importance(n_features_, 0.0);
+  for (const auto& tree : trees_) {
+    for (const auto& node : tree.nodes()) {
+      if (node.feature >= 0) {
+        importance[static_cast<std::size_t>(node.feature)] += node.gain;
+      }
+    }
+  }
+  return importance;
+}
+
+}  // namespace helios::ml

@@ -1,0 +1,119 @@
+// Hand-rolled histogram gradient-boosted decision trees (regression,
+// squared loss) — the library's stand-in for LightGBM, which the paper uses
+// for both the QSSF duration model and the CES node forecaster.
+//
+// Training follows the standard histogram algorithm: features are quantile-
+// binned once (<= max_bins buckets); each tree level builds per-feature
+// gradient histograms over the node's rows and picks the split with the best
+// variance gain; leaves output the shrunk mean residual. Row subsampling per
+// tree gives stochastic boosting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace helios::ml {
+
+/// Per-feature quantile binning. Bin ids are 0..bins-1; values above the
+/// last edge fall in the last bin.
+class FeatureBinner {
+ public:
+  FeatureBinner() = default;
+
+  /// Compute at most `max_bins` bins per feature from (a sample of) `data`.
+  void fit(const Dataset& data, int max_bins, Rng& rng);
+
+  [[nodiscard]] std::uint8_t bin(std::size_t feature, double value) const noexcept;
+  [[nodiscard]] int bins(std::size_t feature) const noexcept {
+    return static_cast<int>(edges_[feature].size()) + 1;
+  }
+  [[nodiscard]] std::size_t features() const noexcept { return edges_.size(); }
+  /// Upper edge of `bin` (the split threshold "value <= edge"); bin must be
+  /// < bins(feature) - 1.
+  [[nodiscard]] double edge(std::size_t feature, int bin) const noexcept {
+    return edges_[feature][static_cast<std::size_t>(bin)];
+  }
+
+ private:
+  std::vector<std::vector<double>> edges_;  // sorted strict upper edges
+};
+
+struct GBDTConfig {
+  int n_trees = 80;
+  int max_depth = 6;
+  double learning_rate = 0.10;
+  int min_samples_leaf = 20;
+  double subsample = 0.8;   ///< row fraction per tree
+  int max_bins = 64;
+  double lambda = 1.0;      ///< L2 regularisation on leaf values
+  std::uint64_t seed = 42;
+  /// Cap on training rows (uniform subsample above it); 0 = no cap.
+  std::size_t max_training_rows = 0;
+};
+
+/// One regression tree over binned features (used internally by the GBDT and
+/// exposed for unit testing).
+class RegressionTree {
+ public:
+  struct Node {
+    // Leaf iff feature < 0.
+    std::int32_t feature = -1;
+    double threshold = 0.0;  ///< go left iff value <= threshold (raw units)
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    double value = 0.0;  ///< leaf output
+    double gain = 0.0;   ///< split gain (for feature importance)
+  };
+
+  /// Fit to residuals[rows] using pre-binned columns (column-major bins,
+  /// bins[f * n_rows + r]).
+  void fit(std::span<const std::uint8_t> bins, std::size_t n_rows,
+           const FeatureBinner& binner, std::span<const double> residuals,
+           std::vector<std::uint32_t> rows, const GBDTConfig& cfg);
+
+  [[nodiscard]] double predict(std::span<const double> features) const noexcept;
+  [[nodiscard]] const std::vector<Node>& nodes() const noexcept { return nodes_; }
+  [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
+
+ private:
+  std::int32_t build(std::span<const std::uint8_t> bins, std::size_t n_rows,
+                     const FeatureBinner& binner, std::span<const double> residuals,
+                     std::span<std::uint32_t> rows, int depth,
+                     const GBDTConfig& cfg);
+
+  std::vector<Node> nodes_;
+};
+
+class GBDTRegressor {
+ public:
+  explicit GBDTRegressor(GBDTConfig config = {}) : config_(config) {}
+
+  /// Train on the dataset; replaces any previous model.
+  void fit(const Dataset& data);
+
+  [[nodiscard]] double predict(std::span<const double> features) const noexcept;
+  [[nodiscard]] std::vector<double> predict_many(const Dataset& data) const;
+
+  /// Total split gain accumulated per feature.
+  [[nodiscard]] std::vector<double> feature_importance() const;
+
+  /// Training RMSE after each boosting iteration (for convergence tests).
+  [[nodiscard]] const std::vector<double>& training_rmse() const noexcept {
+    return train_rmse_;
+  }
+  [[nodiscard]] const GBDTConfig& config() const noexcept { return config_; }
+  [[nodiscard]] bool trained() const noexcept { return !trees_.empty(); }
+  [[nodiscard]] std::size_t tree_count() const noexcept { return trees_.size(); }
+
+ private:
+  GBDTConfig config_;
+  double base_prediction_ = 0.0;
+  std::size_t n_features_ = 0;
+  std::vector<RegressionTree> trees_;
+  std::vector<double> train_rmse_;
+};
+
+}  // namespace helios::ml

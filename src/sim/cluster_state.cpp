@@ -1,0 +1,242 @@
+#include "sim/cluster_state.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace helios::sim {
+
+ClusterState::ClusterState(const trace::ClusterSpec& spec) {
+  vc_nodes_.resize(spec.vcs.size());
+  for (std::size_t vi = 0; vi < spec.vcs.size(); ++vi) {
+    const auto& vc = spec.vcs[vi];
+    for (int n = 0; n < vc.nodes; ++n) {
+      Node node;
+      node.vc = static_cast<int>(vi);
+      node.total_gpus = vc.gpus_per_node;
+      node.free_gpus = vc.gpus_per_node;
+      vc_nodes_[vi].push_back(static_cast<int>(nodes_.size()));
+      nodes_.push_back(node);
+    }
+  }
+}
+
+std::optional<Allocation> ClusterState::try_allocate(int vc, int gpus) {
+  if (vc < 0 || vc >= vc_count() || gpus <= 0) return std::nullopt;
+  const auto& indices = vc_nodes_[static_cast<std::size_t>(vc)];
+  Allocation alloc;
+
+  // Best-fit helper: schedulable node with the fewest free GPUs >= want.
+  auto best_fit = [&](int want, bool require_empty) -> int {
+    int best = -1;
+    int best_free = std::numeric_limits<int>::max();
+    for (int ni : indices) {
+      const Node& n = nodes_[static_cast<std::size_t>(ni)];
+      if (!n.schedulable() || n.free_gpus < want) continue;
+      if (require_empty && n.free_gpus != n.total_gpus) continue;
+      if (n.free_gpus < best_free) {
+        best_free = n.free_gpus;
+        best = ni;
+      }
+    }
+    return best;
+  };
+
+  const int gpn = indices.empty()
+                      ? 0
+                      : nodes_[static_cast<std::size_t>(indices[0])].total_gpus;
+  if (gpn == 0) return std::nullopt;
+
+  if (gpus <= gpn) {
+    const int ni = best_fit(gpus, /*require_empty=*/false);
+    if (ni < 0) return std::nullopt;
+    alloc.node_gpus.emplace_back(ni, gpus);
+  } else {
+    // Multi-node gang: full nodes first, remainder best-fit.
+    const int full_nodes = gpus / gpn;
+    const int rem = gpus % gpn;
+    std::vector<int> picked;
+    picked.reserve(static_cast<std::size_t>(full_nodes));
+    for (int ni : indices) {
+      if (static_cast<int>(picked.size()) == full_nodes) break;
+      const Node& n = nodes_[static_cast<std::size_t>(ni)];
+      if (n.schedulable() && n.free_gpus == n.total_gpus) picked.push_back(ni);
+    }
+    if (static_cast<int>(picked.size()) < full_nodes) return std::nullopt;
+    for (int ni : picked) alloc.node_gpus.emplace_back(ni, gpn);
+    if (rem > 0) {
+      // The remainder must land on a node not already fully taken.
+      int best = -1;
+      int best_free = std::numeric_limits<int>::max();
+      for (int ni : indices) {
+        if (std::find(picked.begin(), picked.end(), ni) != picked.end()) continue;
+        const Node& n = nodes_[static_cast<std::size_t>(ni)];
+        if (!n.schedulable() || n.free_gpus < rem) continue;
+        if (n.free_gpus < best_free) {
+          best_free = n.free_gpus;
+          best = ni;
+        }
+      }
+      if (best < 0) return std::nullopt;
+      alloc.node_gpus.emplace_back(best, rem);
+    }
+  }
+
+  apply(alloc, /*sign=*/-1);
+  return alloc;
+}
+
+void ClusterState::apply(const Allocation& a, int sign) {
+  for (auto [ni, g] : a.node_gpus) {
+    Node& n = nodes_[static_cast<std::size_t>(ni)];
+    const bool was_busy = n.busy();
+    n.free_gpus += sign * g;
+    busy_gpus_ -= sign * g;
+    if (was_busy != n.busy()) busy_nodes_ += n.busy() ? 1 : -1;
+  }
+}
+
+void ClusterState::release(const Allocation& a) { apply(a, /*sign=*/+1); }
+
+void ClusterState::reclaim(const Allocation& a) { apply(a, /*sign=*/-1); }
+
+int ClusterState::free_gpus(int vc) const noexcept {
+  int total = 0;
+  for (int ni : vc_nodes_[static_cast<std::size_t>(vc)]) {
+    const Node& n = nodes_[static_cast<std::size_t>(ni)];
+    if (n.schedulable()) total += n.free_gpus;
+  }
+  return total;
+}
+
+int ClusterState::schedulable_gpus(int vc) const noexcept {
+  int total = 0;
+  for (int ni : vc_nodes_[static_cast<std::size_t>(vc)]) {
+    const Node& n = nodes_[static_cast<std::size_t>(ni)];
+    if (n.schedulable()) total += n.total_gpus;
+  }
+  return total;
+}
+
+int ClusterState::capacity_gpus(int vc) const noexcept {
+  int total = 0;
+  for (int ni : vc_nodes_[static_cast<std::size_t>(vc)]) {
+    total += nodes_[static_cast<std::size_t>(ni)].total_gpus;
+  }
+  return total;
+}
+
+bool ClusterState::can_ever_fit(int vc, int gpus) const noexcept {
+  return vc >= 0 && vc < vc_count() && gpus > 0 && gpus <= capacity_gpus(vc);
+}
+
+int ClusterState::busy_nodes() const noexcept { return busy_nodes_; }
+
+int ClusterState::busy_gpus() const noexcept { return busy_gpus_; }
+
+int ClusterState::active_nodes() const noexcept {
+  int c = 0;
+  for (const auto& n : nodes_) c += n.power != PowerState::kSleeping;
+  return c;
+}
+
+int ClusterState::sleeping_nodes() const noexcept {
+  return node_count() - active_nodes();
+}
+
+int ClusterState::sleep_idle_nodes(int count) {
+  int slept = 0;
+  for (auto& n : nodes_) {
+    if (slept == count) break;
+    if (n.power == PowerState::kActive && !n.busy()) {
+      n.power = PowerState::kSleeping;
+      ++slept;
+    }
+  }
+  return slept;
+}
+
+int ClusterState::sleep_idle_nodes_in_vc(int vc, int count) {
+  int slept = 0;
+  for (int ni : vc_nodes_[static_cast<std::size_t>(vc)]) {
+    if (slept == count) break;
+    Node& n = nodes_[static_cast<std::size_t>(ni)];
+    if (n.power == PowerState::kActive && !n.busy()) {
+      n.power = PowerState::kSleeping;
+      ++slept;
+    }
+  }
+  return slept;
+}
+
+int ClusterState::idle_active_nodes_in_vc(int vc) const noexcept {
+  int c = 0;
+  for (int ni : vc_nodes_[static_cast<std::size_t>(vc)]) {
+    const Node& n = nodes_[static_cast<std::size_t>(ni)];
+    c += n.power == PowerState::kActive && !n.busy();
+  }
+  return c;
+}
+
+int ClusterState::wake_nodes(int count, std::int64_t now, std::int64_t boot_delay) {
+  int woken = 0;
+  for (auto& n : nodes_) {
+    if (woken == count) break;
+    if (n.power == PowerState::kSleeping) {
+      n.power = PowerState::kBooting;
+      n.boot_ready = now + boot_delay;
+      ++woken;
+    }
+  }
+  return woken;
+}
+
+int ClusterState::wake_nodes_in_vc(int vc, int count, std::int64_t now,
+                                   std::int64_t boot_delay) {
+  int woken = 0;
+  for (int ni : vc_nodes_[static_cast<std::size_t>(vc)]) {
+    if (woken == count) break;
+    Node& n = nodes_[static_cast<std::size_t>(ni)];
+    if (n.power == PowerState::kSleeping) {
+      n.power = PowerState::kBooting;
+      n.boot_ready = now + boot_delay;
+      ++woken;
+    }
+  }
+  return woken;
+}
+
+int ClusterState::booting_nodes_in_vc(int vc) const noexcept {
+  int c = 0;
+  for (int ni : vc_nodes_[static_cast<std::size_t>(vc)]) {
+    c += nodes_[static_cast<std::size_t>(ni)].power == PowerState::kBooting;
+  }
+  return c;
+}
+
+int ClusterState::sleeping_nodes_in_vc(int vc) const noexcept {
+  int c = 0;
+  for (int ni : vc_nodes_[static_cast<std::size_t>(vc)]) {
+    c += nodes_[static_cast<std::size_t>(ni)].power == PowerState::kSleeping;
+  }
+  return c;
+}
+
+void ClusterState::finish_boots(std::int64_t now) {
+  for (auto& n : nodes_) {
+    if (n.power == PowerState::kBooting && n.boot_ready <= now) {
+      n.power = PowerState::kActive;
+    }
+  }
+}
+
+std::optional<std::int64_t> ClusterState::next_boot_ready() const noexcept {
+  std::optional<std::int64_t> next;
+  for (const auto& n : nodes_) {
+    if (n.power == PowerState::kBooting) {
+      next = next ? std::min(*next, n.boot_ready) : n.boot_ready;
+    }
+  }
+  return next;
+}
+
+}  // namespace helios::sim

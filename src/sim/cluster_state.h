@@ -1,0 +1,124 @@
+// Node-level cluster state with VC partitioning and consolidated placement.
+//
+// Models the allocation rules of §2.1/§4.2.2: every node belongs to exactly
+// one VC; GPU jobs are gang-scheduled (all-or-nothing) and placed in the
+// ConsolidateAllocate paradigm — as few nodes as possible, so a 16-GPU job
+// on 8-GPU nodes needs two *completely free* nodes. Also tracks node power
+// states for the Cluster Energy Saving service (sleeping nodes accept no
+// work until woken; waking takes a boot delay).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "trace/cluster_config.h"
+
+namespace helios::sim {
+
+enum class PowerState : std::uint8_t {
+  kActive = 0,    ///< powered on, schedulable
+  kSleeping = 1,  ///< DRS deep sleep: not schedulable, ~0 W
+  kBooting = 2,   ///< waking up: not schedulable until boot completes
+};
+
+struct Node {
+  int vc = -1;
+  int total_gpus = 0;
+  int free_gpus = 0;
+  PowerState power = PowerState::kActive;
+  /// When power == kBooting: the time the node becomes active.
+  std::int64_t boot_ready = 0;
+
+  [[nodiscard]] bool busy() const noexcept { return free_gpus < total_gpus; }
+  [[nodiscard]] bool schedulable() const noexcept {
+    return power == PowerState::kActive;
+  }
+};
+
+/// GPUs taken from specific nodes; returned by try_allocate and passed back
+/// to release.
+struct Allocation {
+  std::vector<std::pair<int, int>> node_gpus;  ///< (node index, gpus)
+
+  [[nodiscard]] int total() const noexcept {
+    int t = 0;
+    for (auto [n, g] : node_gpus) t += g;
+    return t;
+  }
+};
+
+class ClusterState {
+ public:
+  explicit ClusterState(const trace::ClusterSpec& spec);
+
+  /// Consolidated gang allocation of `gpus` within VC `vc`:
+  ///  * gpus <= gpus_per_node: best-fit single node (least free GPUs that
+  ///    still fit), so small jobs fragment as few nodes as possible;
+  ///  * gpus > gpus_per_node: floor(gpus/gpn) completely free nodes plus a
+  ///    best-fit node for the remainder.
+  /// Returns nullopt when the VC cannot host the job right now.
+  [[nodiscard]] std::optional<Allocation> try_allocate(int vc, int gpus);
+
+  void release(const Allocation& a);
+
+  /// Re-apply an allocation previously released (SRTF preemption rollback).
+  /// The caller guarantees the GPUs are still free.
+  void reclaim(const Allocation& a);
+
+  /// -- capacity queries -------------------------------------------------
+  [[nodiscard]] int vc_count() const noexcept { return static_cast<int>(vc_nodes_.size()); }
+  [[nodiscard]] int node_count() const noexcept { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] const Node& node(int i) const noexcept {
+    return nodes_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] const std::vector<int>& vc_node_indices(int vc) const noexcept {
+    return vc_nodes_[static_cast<std::size_t>(vc)];
+  }
+  /// Free GPUs on schedulable nodes of a VC.
+  [[nodiscard]] int free_gpus(int vc) const noexcept;
+  /// Total GPUs on schedulable nodes of a VC.
+  [[nodiscard]] int schedulable_gpus(int vc) const noexcept;
+  /// Total GPUs of the VC regardless of power state.
+  [[nodiscard]] int capacity_gpus(int vc) const noexcept;
+  /// Largest job the VC could ever host when fully powered (capacity check).
+  [[nodiscard]] bool can_ever_fit(int vc, int gpus) const noexcept;
+
+  /// Cluster-wide counters.
+  [[nodiscard]] int busy_nodes() const noexcept;
+  [[nodiscard]] int busy_gpus() const noexcept;
+  [[nodiscard]] int active_nodes() const noexcept;    ///< powered (incl. booting)
+  [[nodiscard]] int sleeping_nodes() const noexcept;
+
+  /// -- power control (used by the CES service) ---------------------------
+  /// Put up to `count` idle active nodes of the cluster to sleep, in node
+  /// order. Returns how many slept.
+  int sleep_idle_nodes(int count);
+  /// Same, restricted to one VC.
+  int sleep_idle_nodes_in_vc(int vc, int count);
+  /// Active nodes of `vc` with no allocations (candidates for DRS).
+  [[nodiscard]] int idle_active_nodes_in_vc(int vc) const noexcept;
+  /// Begin waking up to `count` sleeping nodes (any VC); they become
+  /// schedulable at now + boot_delay. Returns how many started booting.
+  int wake_nodes(int count, std::int64_t now, std::int64_t boot_delay);
+  /// Same, but restricted to one VC.
+  int wake_nodes_in_vc(int vc, int count, std::int64_t now, std::int64_t boot_delay);
+  /// Nodes of `vc` currently booting.
+  [[nodiscard]] int booting_nodes_in_vc(int vc) const noexcept;
+  /// Nodes of `vc` currently asleep.
+  [[nodiscard]] int sleeping_nodes_in_vc(int vc) const noexcept;
+  /// Promote nodes whose boot completed at or before `now` to active.
+  void finish_boots(std::int64_t now);
+  /// Earliest pending boot-ready time, or nullopt.
+  [[nodiscard]] std::optional<std::int64_t> next_boot_ready() const noexcept;
+
+ private:
+  void apply(const Allocation& a, int sign);
+
+  std::vector<Node> nodes_;
+  std::vector<std::vector<int>> vc_nodes_;
+  int busy_nodes_ = 0;  // maintained incrementally: O(1) busy queries
+  int busy_gpus_ = 0;
+};
+
+}  // namespace helios::sim

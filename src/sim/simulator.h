@@ -1,0 +1,106 @@
+// Trace-driven discrete-event simulator of a multi-VC GPU cluster.
+//
+// Reproduces the evaluation methodology of §4.2.3: jobs flow through
+// arrival -> per-VC queue -> gang placement -> completion, with no backfill
+// and no cross-VC sharing. Four policies:
+//   * kFifo — submission order (the paper's production baseline),
+//   * kSjf  — oracle shortest-job-first, non-preemptive,
+//   * kSrtf — oracle shortest-remaining-time-first with free preemption,
+//   * kQssf — Quasi-Shortest-Service-First: jobs ordered by *predicted* GPU
+//             time supplied by a PriorityFn (see core/qssf_service.h).
+// Only GPU jobs are simulated; the paper does the same ("GPU resources are
+// the bottleneck in our clusters").
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "forecast/series.h"
+#include "sim/cluster_state.h"
+#include "trace/trace.h"
+
+namespace helios::sim {
+
+enum class SchedulerPolicy { kFifo, kSjf, kSrtf, kQssf };
+
+[[nodiscard]] std::string_view to_string(SchedulerPolicy p) noexcept;
+
+/// Priority for kQssf: expected GPU time of the job; lower runs first.
+using PriorityFn = std::function<double(const trace::JobRecord&)>;
+
+struct SimConfig {
+  SchedulerPolicy policy = SchedulerPolicy::kFifo;
+  PriorityFn priority_fn;  ///< required for kQssf, ignored otherwise
+  /// Queue delay (seconds) above which a job counts as "queued" in the
+  /// Table 3 sense.
+  std::int64_t queued_threshold = 1;
+  /// Resolution of the busy-nodes / busy-GPUs output series.
+  std::int64_t series_step = 600;
+  /// Greedy backfill: when the queue head does not fit, later queued jobs
+  /// that do fit may start (no reservations). The production Slurm that
+  /// recorded the trace backfills, so *operating* a trace uses this; the
+  /// §4.2.3 scheduler comparison keeps it off, exactly like the paper
+  /// ("we do not consider the backfill mechanism").
+  bool backfill = false;
+  /// Cap on queue entries scanned per backfill pass.
+  int backfill_depth = 256;
+};
+
+struct JobOutcome {
+  std::size_t trace_index = 0;  ///< index into the input trace's jobs()
+  UnixTime submit = 0;
+  std::int64_t start = trace::kNeverStarted;  ///< first launch time
+  std::int64_t end = trace::kNeverStarted;
+  std::int32_t gpus = 0;
+  int vc = -1;  ///< cluster-spec VC index
+  bool rejected = false;  ///< demanded more GPUs than its VC will ever have
+
+  [[nodiscard]] std::int64_t queue_delay() const noexcept {
+    return start - submit;
+  }
+  [[nodiscard]] std::int64_t jct() const noexcept { return end - submit; }
+};
+
+struct VCStat {
+  std::string name;
+  int gpus = 0;
+  std::int64_t jobs = 0;
+  double avg_queue_delay = 0.0;
+  double avg_jct = 0.0;
+};
+
+struct SimResult {
+  std::vector<JobOutcome> outcomes;  ///< GPU jobs, in input order
+  double avg_jct = 0.0;
+  double avg_queue_delay = 0.0;
+  std::int64_t queued_jobs = 0;
+  std::int64_t preemptions = 0;
+  std::int64_t rejected_jobs = 0;
+  std::vector<VCStat> vc_stats;          ///< by cluster-spec VC index
+  forecast::TimeSeries busy_nodes;       ///< mean busy nodes per bucket
+  forecast::TimeSeries busy_gpus;       ///< mean busy GPUs per bucket
+};
+
+class ClusterSimulator {
+ public:
+  ClusterSimulator(trace::ClusterSpec spec, SimConfig config);
+
+  /// Simulate all GPU jobs of `t` (must be sorted by submit time). The trace
+  /// is not modified; use apply_schedule to write start times back.
+  [[nodiscard]] SimResult run(const trace::Trace& t) const;
+
+ private:
+  trace::ClusterSpec spec_;
+  SimConfig config_;
+};
+
+/// Copy simulated start times back into the trace (GPU jobs only; CPU jobs
+/// keep start == submit). Returns the number of jobs updated.
+std::size_t apply_schedule(trace::Trace& t, const SimResult& result);
+
+/// Convenience: operate a trace under FIFO (how the real trace's timing was
+/// produced by Slurm) and write the schedule back.
+SimResult operate_fifo(trace::Trace& t, std::int64_t series_step = 600);
+
+}  // namespace helios::sim

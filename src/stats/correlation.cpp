@@ -1,0 +1,62 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace helios::stats {
+
+double pearson(std::span<const double> x, std::span<const double> y) noexcept {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  double mx = 0.0;
+  double my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+std::vector<double> fractional_ranks(std::span<const double> v) {
+  const std::size_t n = v.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && v[order[j + 1]] == v[order[i]]) ++j;
+    const double avg_rank = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+}  // namespace
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  const auto rx = fractional_ranks(x.subspan(0, n));
+  const auto ry = fractional_ranks(y.subspan(0, n));
+  return pearson(rx, ry);
+}
+
+}  // namespace helios::stats

@@ -1,0 +1,21 @@
+// Pearson and Spearman correlation.
+//
+// Used by the characterization layer (e.g. Implication #3: VC utilization is
+// positively correlated with average GPU demand; queuing delay is roughly
+// proportional to job duration) and by property tests that assert the
+// generator reproduces those correlations.
+#pragma once
+
+#include <span>
+
+namespace helios::stats {
+
+/// Pearson linear correlation coefficient in [-1, 1]; 0 for degenerate input.
+[[nodiscard]] double pearson(std::span<const double> x,
+                             std::span<const double> y) noexcept;
+
+/// Spearman rank correlation (Pearson on fractional ranks, ties averaged).
+[[nodiscard]] double spearman(std::span<const double> x,
+                              std::span<const double> y);
+
+}  // namespace helios::stats

@@ -1,0 +1,88 @@
+#include "stats/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace helios::stats {
+
+double normal_cdf(double x) noexcept {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double normal_quantile(double p) noexcept {
+  // Peter Acklam's inverse normal CDF approximation.
+  p = std::clamp(p, 1e-15, 1.0 - 1e-15);
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  constexpr double phigh = 1.0 - plow;
+  double q;
+  double r;
+  if (p < plow) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= phigh) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+double LogNormalParams::median() const noexcept { return std::exp(mu); }
+
+double LogNormalParams::mean() const noexcept {
+  return std::exp(mu + 0.5 * sigma * sigma);
+}
+
+double LogNormalParams::cdf(double x) const noexcept {
+  if (x <= 0.0) return 0.0;
+  return normal_cdf((std::log(x) - mu) / sigma);
+}
+
+double LogNormalParams::quantile(double q) const noexcept {
+  return std::exp(mu + sigma * normal_quantile(q));
+}
+
+LogNormalParams fit_lognormal(std::span<const double> data) noexcept {
+  double sum = 0.0;
+  double sum2 = 0.0;
+  std::size_t n = 0;
+  for (double x : data) {
+    if (x > 0.0) {
+      const double lx = std::log(x);
+      sum += lx;
+      sum2 += lx * lx;
+      ++n;
+    }
+  }
+  if (n < 2) return {};
+  const double mu = sum / static_cast<double>(n);
+  const double var =
+      std::max(0.0, (sum2 - sum * mu) / static_cast<double>(n - 1));
+  return {mu, std::sqrt(var)};
+}
+
+LogNormalParams lognormal_from_median_mean(double median, double mean) noexcept {
+  LogNormalParams p;
+  if (median <= 0.0) return p;
+  p.mu = std::log(median);
+  p.sigma = mean > median ? std::sqrt(2.0 * std::log(mean / median)) : 0.0;
+  return p;
+}
+
+}  // namespace helios::stats

@@ -1,0 +1,36 @@
+// Parametric distributions: densities, CDFs, and moment-based fitting.
+#pragma once
+
+#include <span>
+
+namespace helios::stats {
+
+/// Standard normal CDF via erf.
+[[nodiscard]] double normal_cdf(double x) noexcept;
+
+/// Inverse standard normal CDF (Acklam's rational approximation, |err|<1e-9).
+[[nodiscard]] double normal_quantile(double p) noexcept;
+
+/// Parameters of a log-normal distribution: X = exp(N(mu, sigma)).
+struct LogNormalParams {
+  double mu = 0.0;
+  double sigma = 1.0;
+
+  [[nodiscard]] double median() const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double cdf(double x) const noexcept;
+  [[nodiscard]] double quantile(double q) const noexcept;
+};
+
+/// Maximum-likelihood fit (mean/std of log values). Non-positive samples are
+/// ignored; returns defaults when fewer than two positive samples exist.
+[[nodiscard]] LogNormalParams fit_lognormal(std::span<const double> data) noexcept;
+
+/// Solve for LogNormalParams with the requested median and mean
+/// (mean > median > 0): mu = ln(median), sigma = sqrt(2 ln(mean/median)).
+/// This is how the trace generator converts the paper's published
+/// median/mean duration pairs into samplers.
+[[nodiscard]] LogNormalParams lognormal_from_median_mean(double median,
+                                                         double mean) noexcept;
+
+}  // namespace helios::stats

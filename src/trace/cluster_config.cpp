@@ -1,0 +1,171 @@
+#include "trace/cluster_config.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace helios::trace {
+
+namespace {
+
+std::uint64_t name_seed(const std::string& name) {
+  // FNV-1a so VC layouts are stable across runs and platforms.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string random_vc_name(Rng& rng) {
+  static constexpr char kAlphabet[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+  std::string s = "vc";
+  for (int i = 0; i < 3; ++i) {
+    s += kAlphabet[rng.uniform_index(sizeof(kAlphabet) - 1)];
+  }
+  return s;
+}
+
+/// Splits `total_nodes` across `vc_count` VCs with a Zipf-like skew: the
+/// largest VC gets ~total/5 of the nodes, most VCs get a handful. This
+/// matches Figure 4's description of Earth (one 208-GPU VC, others 32-96).
+std::vector<VCSpec> make_vcs(const std::string& cluster, int total_nodes,
+                             int vc_count, int gpus_per_node) {
+  Rng rng(name_seed(cluster));
+  std::vector<double> weights(static_cast<std::size_t>(vc_count));
+  for (int i = 0; i < vc_count; ++i) {
+    weights[static_cast<std::size_t>(i)] =
+        1.0 / std::pow(static_cast<double>(i + 1), 0.8);
+  }
+  const double wsum = std::accumulate(weights.begin(), weights.end(), 0.0);
+
+  std::vector<VCSpec> vcs(static_cast<std::size_t>(vc_count));
+  int assigned = 0;
+  for (int i = 0; i < vc_count; ++i) {
+    auto& vc = vcs[static_cast<std::size_t>(i)];
+    vc.name = random_vc_name(rng);
+    vc.gpus_per_node = gpus_per_node;
+    vc.nodes = std::max(
+        1, static_cast<int>(std::floor(total_nodes * weights[static_cast<std::size_t>(i)] / wsum)));
+    assigned += vc.nodes;
+  }
+  // Distribute the rounding remainder (or reclaim excess) round-robin,
+  // keeping every VC at >= 1 node.
+  int i = 0;
+  while (assigned < total_nodes) {
+    ++vcs[static_cast<std::size_t>(i % vc_count)].nodes;
+    ++assigned;
+    ++i;
+  }
+  while (assigned > total_nodes) {
+    auto& vc = vcs[static_cast<std::size_t>(i % vc_count)];
+    if (vc.nodes > 1) {
+      --vc.nodes;
+      --assigned;
+    }
+    ++i;
+  }
+  return vcs;
+}
+
+ClusterSpec make_cluster(const std::string& name, int nodes, int vc_count,
+                         int gpus_per_node, int cpus_per_node,
+                         std::int64_t reference_jobs) {
+  ClusterSpec c;
+  c.name = name;
+  c.nodes = nodes;
+  c.gpus_per_node = gpus_per_node;
+  c.cpus_per_node = cpus_per_node;
+  c.reference_jobs = reference_jobs;
+  c.vcs = make_vcs(name, nodes, vc_count, gpus_per_node);
+  return c;
+}
+
+}  // namespace
+
+int ClusterSpec::find_vc(const std::string& vc_name) const noexcept {
+  for (std::size_t i = 0; i < vcs.size(); ++i) {
+    if (vcs[i].name == vc_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+UnixTime helios_trace_begin() noexcept { return from_civil(2020, 4, 1); }
+UnixTime helios_trace_end() noexcept { return from_civil(2020, 9, 28); }
+
+UnixTime philly_trace_begin() noexcept { return from_civil(2017, 10, 1); }
+UnixTime philly_trace_end() noexcept { return from_civil(2018, 1, 1); }
+
+std::vector<ClusterSpec> helios_clusters() {
+  // Table 1. Venus/Earth: Volta, 48-thread Intel nodes; Saturn mixed
+  // Pascal+Volta; Uranus Pascal with 64-thread nodes.
+  return {
+      make_cluster("Venus", 133, 27, 8, 48, 247'000),
+      make_cluster("Earth", 143, 25, 8, 48, 873'000),
+      make_cluster("Saturn", 262, 28, 8, 64, 1'753'000),
+      make_cluster("Uranus", 264, 25, 8, 64, 490'000),
+  };
+}
+
+ClusterSpec helios_cluster(const std::string& name) {
+  for (auto& c : helios_clusters()) {
+    if (c.name == name) return c;
+  }
+  throw std::invalid_argument("unknown Helios cluster: " + name);
+}
+
+ClusterSpec philly_cluster() {
+  // 14 VCs (Table 2); the trace's GPU activity spans ~358 multi-GPU nodes.
+  // Philly machines predominantly host 4 GPUs each; jobs max out at 128 GPUs.
+  return make_cluster("Philly", 358, 14, 4, 24, 103'467);
+}
+
+ClusterSpec scale_cluster(const ClusterSpec& spec, double factor) {
+  if (factor == 1.0) return spec;
+  ClusterSpec out = spec;
+  out.vcs.clear();
+  const int target_nodes =
+      std::max(1, static_cast<int>(std::lround(spec.nodes * factor)));
+  for (const auto& vc : spec.vcs) {
+    VCSpec scaled = vc;
+    scaled.nodes = static_cast<int>(std::lround(vc.nodes * factor));
+    if (scaled.nodes > 0) out.vcs.push_back(scaled);
+  }
+  if (out.vcs.empty()) {
+    VCSpec only = spec.vcs.empty() ? VCSpec{"vc000", 1, spec.gpus_per_node}
+                                   : spec.vcs.front();
+    only.nodes = target_nodes;
+    out.vcs.push_back(only);
+  }
+  // Adjust the rounding drift on the largest VCs first (they absorb the
+  // error with the least relative distortion).
+  int assigned = 0;
+  for (const auto& vc : out.vcs) assigned += vc.nodes;
+  std::size_t i = 0;
+  while (assigned < target_nodes) {
+    ++out.vcs[i % out.vcs.size()].nodes;
+    ++assigned;
+    ++i;
+  }
+  while (assigned > target_nodes) {
+    bool shrunk = false;
+    for (auto& vc : out.vcs) {
+      if (assigned <= target_nodes) break;
+      if (vc.nodes > 1) {
+        --vc.nodes;
+        --assigned;
+        shrunk = true;
+      }
+    }
+    if (!shrunk) break;  // every VC is at its 1-node floor
+  }
+  out.nodes = assigned;
+  return out;
+}
+
+}  // namespace helios::trace

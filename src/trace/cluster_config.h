@@ -1,0 +1,70 @@
+// Cluster and virtual-cluster specifications (paper Table 1).
+//
+// Helios: four clusters (Venus, Earth, Saturn, Uranus), 802 nodes / 6416
+// GPUs total, each statically partitioned into VCs (every node belongs to
+// exactly one VC, 8 GPUs per node). Philly: the Microsoft comparison cluster.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/civil_time.h"
+
+namespace helios::trace {
+
+/// A virtual cluster: a dedicated, non-shared slice of whole nodes (§2.1).
+struct VCSpec {
+  std::string name;
+  int nodes = 0;
+  int gpus_per_node = 8;
+
+  [[nodiscard]] int total_gpus() const noexcept { return nodes * gpus_per_node; }
+};
+
+/// A physical cluster.
+struct ClusterSpec {
+  std::string name;
+  int nodes = 0;
+  int gpus_per_node = 8;
+  int cpus_per_node = 48;
+  /// Expected jobs over the 6-month trace window at scale 1.0 (Table 1).
+  std::int64_t reference_jobs = 0;
+  std::vector<VCSpec> vcs;
+
+  [[nodiscard]] int total_gpus() const noexcept { return nodes * gpus_per_node; }
+  [[nodiscard]] int vc_count() const noexcept { return static_cast<int>(vcs.size()); }
+  /// Index of the VC with the given name, or -1.
+  [[nodiscard]] int find_vc(const std::string& name) const noexcept;
+};
+
+/// Helios trace window: April 1 - September 27, 2020 (§2.3, footnote 1).
+[[nodiscard]] UnixTime helios_trace_begin() noexcept;
+[[nodiscard]] UnixTime helios_trace_end() noexcept;
+
+/// Philly evaluation window used by the paper: October 1 - November 30, 2017.
+[[nodiscard]] UnixTime philly_trace_begin() noexcept;
+[[nodiscard]] UnixTime philly_trace_end() noexcept;
+
+/// The four Helios clusters with Table 1 shapes. VC node counts are not
+/// published; they are derived deterministically to match the published VC
+/// counts, total node counts, and the Figure 4 observation that VC sizes are
+/// skewed (one ~26-node VC in Earth, most VCs 4-12 nodes).
+[[nodiscard]] std::vector<ClusterSpec> helios_clusters();
+
+/// A single Helios cluster by name ("Venus", "Earth", "Saturn", "Uranus").
+[[nodiscard]] ClusterSpec helios_cluster(const std::string& name);
+
+/// The Philly comparison cluster: 552 nodes is the published machine count;
+/// the trace activity concentrates on ~358 GPU nodes across 14 VCs.
+[[nodiscard]] ClusterSpec philly_cluster();
+
+/// Scale a cluster down (or up) for cheap experimentation: VC node counts are
+/// multiplied by `factor` (rounded), VCs that round to zero nodes are
+/// dropped, and the total is adjusted to round(nodes * factor). Workload
+/// generators scale job counts with the same factor, so offered load per GPU
+/// — and therefore utilization, queuing and scheduler behaviour — is
+/// preserved. reference_jobs is left unscaled (the generator applies scale).
+[[nodiscard]] ClusterSpec scale_cluster(const ClusterSpec& spec, double factor);
+
+}  // namespace helios::trace

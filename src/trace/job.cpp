@@ -1,0 +1,23 @@
+#include "trace/job.h"
+
+namespace helios::trace {
+
+std::string_view to_string(JobState s) noexcept {
+  switch (s) {
+    case JobState::kCompleted:
+      return "completed";
+    case JobState::kCanceled:
+      return "canceled";
+    case JobState::kFailed:
+      return "failed";
+  }
+  return "failed";
+}
+
+JobState job_state_from_string(std::string_view s) noexcept {
+  if (s == "completed") return JobState::kCompleted;
+  if (s == "canceled") return JobState::kCanceled;
+  return JobState::kFailed;
+}
+
+}  // namespace helios::trace

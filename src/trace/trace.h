@@ -1,0 +1,89 @@
+// Trace container: jobs + interned string tables + the cluster they ran on.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/interner.h"
+#include "trace/cluster_config.h"
+#include "trace/job.h"
+
+namespace helios::trace {
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(ClusterSpec cluster) : cluster_(std::move(cluster)) {}
+
+  /// -- construction ---------------------------------------------------------
+
+  /// Append a job whose string fields are already interned ids.
+  void add(const JobRecord& job) { jobs_.push_back(job); }
+
+  /// Append a job given string fields; interns them.
+  JobRecord& add(UnixTime submit, std::int32_t duration, std::int32_t gpus,
+                 std::int32_t cpus, std::string_view user, std::string_view vc,
+                 std::string_view name, JobState state);
+
+  /// Stable-sort jobs by submission time (scheduler replay order).
+  void sort_by_submit_time();
+
+  /// -- access ---------------------------------------------------------------
+
+  [[nodiscard]] const std::vector<JobRecord>& jobs() const noexcept { return jobs_; }
+  [[nodiscard]] std::vector<JobRecord>& jobs() noexcept { return jobs_; }
+  [[nodiscard]] std::size_t size() const noexcept { return jobs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return jobs_.empty(); }
+
+  [[nodiscard]] const ClusterSpec& cluster() const noexcept { return cluster_; }
+  [[nodiscard]] ClusterSpec& cluster() noexcept { return cluster_; }
+
+  [[nodiscard]] const StringInterner& users() const noexcept { return users_; }
+  [[nodiscard]] const StringInterner& vcs() const noexcept { return vcs_; }
+  [[nodiscard]] const StringInterner& names() const noexcept { return names_; }
+  [[nodiscard]] StringInterner& users() noexcept { return users_; }
+  [[nodiscard]] StringInterner& vcs() noexcept { return vcs_; }
+  [[nodiscard]] StringInterner& names() noexcept { return names_; }
+
+  [[nodiscard]] const std::string& user_name(const JobRecord& j) const noexcept {
+    return users_.str(j.user);
+  }
+  [[nodiscard]] const std::string& vc_name(const JobRecord& j) const noexcept {
+    return vcs_.str(j.vc);
+  }
+  [[nodiscard]] const std::string& job_name(const JobRecord& j) const noexcept {
+    return names_.str(j.name);
+  }
+
+  /// -- filtering ------------------------------------------------------------
+
+  /// New trace (sharing no storage) with the jobs satisfying `pred`.
+  /// Interners are copied wholesale so ids remain valid.
+  [[nodiscard]] Trace filter(const std::function<bool(const JobRecord&)>& pred) const;
+
+  /// Jobs whose submit time falls in [begin, end).
+  [[nodiscard]] Trace between(UnixTime begin, UnixTime end) const;
+
+  /// GPU jobs only / CPU jobs only.
+  [[nodiscard]] Trace gpu_jobs() const;
+  [[nodiscard]] Trace cpu_jobs() const;
+
+  /// -- CSV round trip -------------------------------------------------------
+
+  /// Schema: job_id,submit_time,start_time,duration,num_gpus,num_cpus,user,
+  ///         vc,name,state  (header row included).
+  void save_csv(std::ostream& out) const;
+  static Trace load_csv(std::istream& in, ClusterSpec cluster);
+
+ private:
+  ClusterSpec cluster_;
+  std::vector<JobRecord> jobs_;
+  StringInterner users_;
+  StringInterner vcs_;
+  StringInterner names_;
+};
+
+}  // namespace helios::trace

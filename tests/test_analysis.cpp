@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "analysis/cluster_stats.h"
+#include "analysis/job_stats.h"
+#include "analysis/user_stats.h"
+
+namespace helios::analysis {
+namespace {
+
+using trace::JobState;
+using trace::Trace;
+
+trace::ClusterSpec spec_2x8() {
+  trace::ClusterSpec s;
+  s.name = "A";
+  s.vcs = {{"vcA", 1, 8}, {"vcB", 1, 8}};
+  s.nodes = 2;
+  return s;
+}
+
+TEST(BusyGpuSeconds, ExactIntervalAccounting) {
+  Trace t(spec_2x8());
+  // 4 GPUs from t=0 for 100s; 8 GPUs from t=50 for 100s.
+  t.add(0, 100, 4, 4, "u", "vcA", "a", JobState::kCompleted);
+  t.add(50, 100, 8, 8, "u", "vcB", "b", JobState::kCompleted);
+  const auto busy = busy_gpu_seconds(t, 0, 200, 50);
+  ASSERT_EQ(busy.size(), 4u);
+  EXPECT_DOUBLE_EQ(busy[0], 4 * 50.0);            // [0,50): job a only
+  EXPECT_DOUBLE_EQ(busy[1], 4 * 50.0 + 8 * 50.0); // [50,100): both
+  EXPECT_DOUBLE_EQ(busy[2], 8 * 50.0);            // [100,150): job b only
+  EXPECT_DOUBLE_EQ(busy[3], 0.0);
+}
+
+TEST(BusyGpuSeconds, ClipsToWindow) {
+  Trace t(spec_2x8());
+  t.add(-100, 300, 2, 2, "u", "vcA", "a", JobState::kCompleted);  // spans window
+  const auto busy = busy_gpu_seconds(t, 0, 100, 100);
+  ASSERT_EQ(busy.size(), 1u);
+  EXPECT_DOUBLE_EQ(busy[0], 2 * 100.0);
+}
+
+TEST(BusyGpuSeconds, PredicateFilters) {
+  Trace t(spec_2x8());
+  t.add(0, 100, 4, 4, "u", "vcA", "a", JobState::kCompleted);
+  t.add(0, 100, 2, 2, "u", "vcB", "b", JobState::kCompleted);
+  const auto only_big = busy_gpu_seconds(
+      t, 0, 100, 100, [](const trace::JobRecord& j) { return j.num_gpus >= 4; });
+  EXPECT_DOUBLE_EQ(only_big[0], 400.0);
+}
+
+TEST(UtilizationSeries, NormalizedByCapacity) {
+  Trace t(spec_2x8());
+  t.add(0, 100, 8, 8, "u", "vcA", "a", JobState::kCompleted);  // half capacity
+  const auto s = utilization_series(t, 0, 100, 100);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.values[0], 0.5);
+}
+
+TEST(VcUtilizationSeries, UsesVcCapacity) {
+  Trace t(spec_2x8());
+  t.add(0, 100, 8, 8, "u", "vcA", "a", JobState::kCompleted);
+  const auto s = vc_utilization_series(t, 0, 0, 100, 100);
+  EXPECT_DOUBLE_EQ(s.values[0], 1.0);  // vcA fully busy
+  const auto s2 = vc_utilization_series(t, 1, 0, 100, 100);
+  EXPECT_DOUBLE_EQ(s2.values[0], 0.0);
+}
+
+TEST(HourlyProfile, AveragesByHourOfDay) {
+  UtilizationSeries s;
+  s.begin = from_civil(2020, 6, 1);
+  s.step = 3600;
+  s.values.assign(48, 0.0);
+  s.values[3] = 0.4;   // day 1, 03h
+  s.values[27] = 0.8;  // day 2, 03h
+  const auto prof = hourly_profile(s);
+  EXPECT_NEAR(prof[3], 0.6, 1e-12);
+  EXPECT_NEAR(prof[4], 0.0, 1e-12);
+}
+
+TEST(HourlySubmissionRate, PerDayAverage) {
+  Trace t(spec_2x8());
+  const auto base = from_civil(2020, 6, 1);
+  // 4 GPU jobs at 09h over two days, 1 CPU job (excluded).
+  t.add(base + 9 * 3600, 10, 1, 1, "u", "vcA", "a", JobState::kCompleted);
+  t.add(base + 9 * 3600 + 60, 10, 1, 1, "u", "vcA", "a", JobState::kCompleted);
+  t.add(base + kSecondsPerDay + 9 * 3600, 10, 1, 1, "u", "vcA", "a",
+        JobState::kCompleted);
+  t.add(base + 9 * 3600, 10, 0, 1, "u", "vcA", "cpu", JobState::kCompleted);
+  const auto rate = hourly_submission_rate(t, base, base + 2 * kSecondsPerDay);
+  EXPECT_NEAR(rate[9], 1.5, 1e-12);
+  EXPECT_NEAR(rate[10], 0.0, 1e-12);
+}
+
+TEST(MonthlyTrends, SplitsSingleAndMulti) {
+  Trace t(spec_2x8());
+  t.add(from_civil(2020, 5, 10), 1000, 1, 1, "u", "vcA", "a", JobState::kCompleted);
+  t.add(from_civil(2020, 5, 11), 1000, 8, 8, "u", "vcA", "a", JobState::kCompleted);
+  t.add(from_civil(2020, 6, 2), 1000, 1, 1, "u", "vcA", "a", JobState::kCompleted);
+  const auto months = monthly_trends(t, from_civil(2020, 5, 1), from_civil(2020, 7, 1));
+  ASSERT_EQ(months.size(), 2u);
+  EXPECT_EQ(months[0].month, 5);
+  EXPECT_EQ(months[0].single_gpu_jobs, 1);
+  EXPECT_EQ(months[0].multi_gpu_jobs, 1);
+  EXPECT_EQ(months[1].single_gpu_jobs, 1);
+  EXPECT_GT(months[0].avg_utilization, 0.0);
+  EXPECT_NEAR(months[0].avg_utilization,
+              months[0].util_from_single + months[0].util_from_multi, 1e-12);
+}
+
+TEST(JobSizeDistribution, FractionsAndCdf) {
+  Trace t(spec_2x8());
+  for (int i = 0; i < 3; ++i) {
+    t.add(0, 100, 1, 1, "u", "vcA", "a", JobState::kCompleted);
+  }
+  t.add(0, 100, 8, 8, "u", "vcA", "a", JobState::kCompleted);
+  const auto dist = job_size_distribution(t);
+  ASSERT_EQ(dist.size(), 2u);
+  EXPECT_EQ(dist[0].gpus, 1);
+  EXPECT_DOUBLE_EQ(dist[0].job_fraction, 0.75);
+  // GPU time: 3*100 vs 800.
+  EXPECT_NEAR(dist[0].gpu_time_fraction, 300.0 / 1100.0, 1e-12);
+  EXPECT_DOUBLE_EQ(dist[1].job_cdf, 1.0);
+  EXPECT_DOUBLE_EQ(dist[1].gpu_time_cdf, 1.0);
+}
+
+TEST(StatusByGpuCount, SkipsNonPowerOfTwo) {
+  Trace t(spec_2x8());
+  t.add(0, 10, 3, 3, "u", "vcA", "a", JobState::kCompleted);  // non-pow2
+  t.add(0, 10, 4, 4, "u", "vcA", "a", JobState::kCompleted);
+  t.add(0, 10, 4, 4, "u", "vcA", "a", JobState::kFailed);
+  const auto by = status_by_gpu_count(t);
+  ASSERT_EQ(by.size(), 1u);
+  EXPECT_EQ(by[0].gpus, 4);
+  EXPECT_DOUBLE_EQ(by[0].completed, 0.5);
+  EXPECT_DOUBLE_EQ(by[0].failed, 0.5);
+}
+
+TEST(GpuTimeByState, NormalizedShares) {
+  Trace t(spec_2x8());
+  t.add(0, 100, 1, 1, "u", "vcA", "a", JobState::kCompleted);
+  t.add(0, 300, 1, 1, "u", "vcA", "a", JobState::kCanceled);
+  const auto s = gpu_time_by_state(t);
+  EXPECT_DOUBLE_EQ(s[0], 0.25);
+  EXPECT_DOUBLE_EQ(s[1], 0.75);
+  EXPECT_DOUBLE_EQ(s[2], 0.0);
+}
+
+TEST(Summarize, CountsAndAverages) {
+  Trace t(spec_2x8());
+  t.add(0, 100, 2, 2, "u1", "vcA", "a", JobState::kCompleted);
+  t.add(10, 300, 4, 4, "u2", "vcA", "b", JobState::kCompleted);
+  t.add(20, 7, 0, 2, "u1", "vcB", "c", JobState::kFailed);
+  const auto s = summarize(t);
+  EXPECT_EQ(s.total_jobs, 3);
+  EXPECT_EQ(s.gpu_jobs, 2);
+  EXPECT_EQ(s.cpu_jobs, 1);
+  EXPECT_DOUBLE_EQ(s.avg_gpus_per_gpu_job, 3.0);
+  EXPECT_DOUBLE_EQ(s.avg_gpu_job_duration, 200.0);
+  EXPECT_DOUBLE_EQ(s.median_gpu_job_duration, 200.0);
+  EXPECT_DOUBLE_EQ(s.avg_cpu_job_duration, 7.0);
+  EXPECT_EQ(s.max_gpus, 4);
+  EXPECT_EQ(s.users, 2);
+}
+
+// ---------------------------------------------------------------------------
+// User stats
+// ---------------------------------------------------------------------------
+
+TEST(UserAggregates, PerUserTotals) {
+  Trace t(spec_2x8());
+  t.add(0, 100, 2, 2, "alice", "vcA", "a", JobState::kCompleted);
+  t.add(0, 50, 1, 1, "alice", "vcA", "a", JobState::kFailed);
+  t.add(0, 10, 0, 8, "bob", "vcB", "c", JobState::kCompleted);
+  const auto users = user_aggregates(t);
+  ASSERT_EQ(users.size(), 2u);
+  const auto& alice = users[0].gpu_jobs == 2 ? users[0] : users[1];
+  EXPECT_DOUBLE_EQ(alice.gpu_time, 250.0);
+  EXPECT_EQ(alice.gpu_jobs_completed, 1);
+  EXPECT_DOUBLE_EQ(alice.completion_rate(), 0.5);
+  const auto& bob = users[0].gpu_jobs == 2 ? users[1] : users[0];
+  EXPECT_DOUBLE_EQ(bob.cpu_time, 80.0);
+  EXPECT_DOUBLE_EQ(bob.completion_rate(), 0.0);  // no GPU jobs
+}
+
+TEST(ShareCurve, LorenzShape) {
+  const auto curve = share_curve({10.0, 30.0, 60.0});
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_DOUBLE_EQ(curve[0].value_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(curve[1].value_fraction, 0.6);   // top user
+  EXPECT_DOUBLE_EQ(curve[2].value_fraction, 0.9);
+  EXPECT_DOUBLE_EQ(curve[3].value_fraction, 1.0);
+  EXPECT_NEAR(curve[1].user_fraction, 1.0 / 3.0, 1e-12);
+}
+
+TEST(TopShare, ExactAndEdgeCases) {
+  const std::vector<double> v = {1.0, 1.0, 1.0, 97.0};
+  EXPECT_DOUBLE_EQ(top_share(v, 0.25), 0.97);
+  EXPECT_DOUBLE_EQ(top_share(v, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(top_share({}, 0.5), 0.0);
+}
+
+TEST(VcBehaviors, SortedBySizeWithStats) {
+  Trace t(spec_2x8());
+  t.add(from_civil(2020, 5, 2), 600, 8, 8, "u", "vcA", "a", JobState::kCompleted);
+  const auto b = vc_behaviors(t, from_civil(2020, 5, 1), from_civil(2020, 5, 3),
+                              3600);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0].gpus, b[1].gpus);  // equal-size VCs; both present
+  const auto& with_job = b[0].jobs > 0 ? b[0] : b[1];
+  EXPECT_EQ(with_job.jobs, 1);
+  EXPECT_DOUBLE_EQ(with_job.avg_gpu_request, 8.0);
+  EXPECT_DOUBLE_EQ(with_job.avg_duration, 600.0);
+}
+
+}  // namespace
+}  // namespace helios::analysis

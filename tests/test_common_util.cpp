@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/env.h"
+#include "common/interner.h"
+#include "common/text_table.h"
+#include "common/thread_pool.h"
+
+namespace helios {
+namespace {
+
+TEST(Interner, DenseIdsAndRoundTrip) {
+  StringInterner in;
+  EXPECT_EQ(in.intern("alpha"), 0u);
+  EXPECT_EQ(in.intern("beta"), 1u);
+  EXPECT_EQ(in.intern("alpha"), 0u);
+  EXPECT_EQ(in.size(), 2u);
+  EXPECT_EQ(in.str(0), "alpha");
+  EXPECT_EQ(in.find("beta"), 1u);
+  EXPECT_EQ(in.find("gamma"), StringInterner::kNotFound);
+}
+
+TEST(Csv, QuotedRoundTrip) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"plain", "with,comma", "with\"quote", "with\nnewline"});
+  const std::string line = os.str();
+  // Parse the single physical line produced for the first three fields.
+  const auto fields =
+      CsvReader::parse_line("plain,\"with,comma\",\"with\"\"quote\"");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "plain");
+  EXPECT_EQ(fields[1], "with,comma");
+  EXPECT_EQ(fields[2], "with\"quote");
+}
+
+TEST(Csv, NumericFieldsRoundTrip) {
+  EXPECT_EQ(CsvWriter::field(static_cast<std::int64_t>(-42)), "-42");
+  const std::string d = CsvWriter::field(3.25);
+  EXPECT_EQ(std::stod(d), 3.25);
+}
+
+TEST(Csv, ReadAllSkipsEmptyLines) {
+  std::istringstream in("a,b\n\nc,d\n");
+  const auto rows = CsvReader::read_all(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "d");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, NumericCells) {
+  EXPECT_EQ(TextTable::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::cell(static_cast<std::int64_t>(42)), "42");
+  EXPECT_EQ(TextTable::cell_grouped(1753000), "1,753,000");
+  EXPECT_EQ(TextTable::cell_grouped(-1234), "-1,234");
+  EXPECT_EQ(TextTable::cell_pct(0.821), "82.1%");
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; }, 10);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForChunksPartition) {
+  std::atomic<std::size_t> total{0};
+  parallel_for_chunks(
+      5, 1005,
+      [&](std::size_t lo, std::size_t hi) { total += hi - lo; }, 8);
+  EXPECT_EQ(total.load(), 1000u);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(0, 100, [](std::size_t i) {
+        if (i == 57) throw std::runtime_error("boom");
+      }, 1),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  parallel_for(10, 10, [](std::size_t) { FAIL(); });
+}
+
+TEST(Env, FallbacksAndParsing) {
+  EXPECT_DOUBLE_EQ(env_double("HELIOS_TEST_UNSET_VAR", 1.5), 1.5);
+  EXPECT_EQ(env_int("HELIOS_TEST_UNSET_VAR", 7), 7);
+  ::setenv("HELIOS_TEST_SET_VAR", "2.25", 1);
+  EXPECT_DOUBLE_EQ(env_double("HELIOS_TEST_SET_VAR", 0.0), 2.25);
+  ::setenv("HELIOS_TEST_SET_VAR", "19", 1);
+  EXPECT_EQ(env_int("HELIOS_TEST_SET_VAR", 0), 19);
+  EXPECT_EQ(env_string("HELIOS_TEST_SET_VAR", ""), "19");
+  ::unsetenv("HELIOS_TEST_SET_VAR");
+}
+
+}  // namespace
+}  // namespace helios

@@ -1,0 +1,132 @@
+// Marquee-user fairness service (Implication #7).
+#include <gtest/gtest.h>
+
+#include "core/marquee_service.h"
+#include "core/qssf_service.h"
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+namespace helios::core {
+namespace {
+
+using trace::JobState;
+using trace::Trace;
+
+trace::ClusterSpec spec() {
+  trace::ClusterSpec s;
+  s.name = "s";
+  s.vcs = {{"vc0", 2, 8}};
+  s.nodes = 2;
+  return s;
+}
+
+Trace operated_history() {
+  // carol: tiny GPU time but huge queuing (the marquee profile).
+  // dave: heavy consumer with heavy queuing (expected, not marquee).
+  // erin: no queuing at all.
+  Trace t(spec());
+  for (int i = 0; i < 10; ++i) {
+    auto& c = t.add(100 * i, 60, 1, 6, "carol", "vc0", "debug",
+                    JobState::kCompleted);
+    c.start_time = c.submit_time + 50'000;  // blocked forever
+    auto& d = t.add(100 * i + 1, 80'000, 16, 96, "dave", "vc0", "train",
+                    JobState::kCompleted);
+    d.start_time = d.submit_time + 60'000;
+    auto& e = t.add(100 * i + 2, 120, 1, 6, "erin", "vc0", "eval",
+                    JobState::kCompleted);
+    e.start_time = e.submit_time;
+  }
+  return t;
+}
+
+TEST(MarqueeService, DetectsMarqueeUsers) {
+  MarqueeService svc;
+  const Trace h = operated_history();
+  svc.update(h);
+  EXPECT_TRUE(svc.is_marquee("carol"));   // big delay share, tiny GPU share
+  EXPECT_FALSE(svc.is_marquee("dave"));   // big delay but dominant consumer
+  EXPECT_FALSE(svc.is_marquee("erin"));   // no queuing
+  EXPECT_EQ(svc.marquee_count(), 1u);
+}
+
+TEST(MarqueeService, MultiplierBoostsOnlyMarqueeJobs) {
+  MarqueeService svc;
+  const Trace h = operated_history();
+  svc.update(h);
+  Trace probe(spec());
+  const auto jc = probe.add(0, 10, 1, 6, "carol", "vc0", "x", JobState::kCompleted);
+  const auto jd = probe.add(0, 10, 1, 6, "dave", "vc0", "x", JobState::kCompleted);
+  EXPECT_DOUBLE_EQ(svc.multiplier(probe, jc), 0.5);
+  EXPECT_DOUBLE_EQ(svc.multiplier(probe, jd), 1.0);
+}
+
+TEST(MarqueeService, AdjustWrapsBasePriority) {
+  MarqueeService svc;
+  const Trace h = operated_history();
+  svc.update(h);
+  Trace probe(spec());
+  const auto jc = probe.add(0, 10, 1, 6, "carol", "vc0", "x", JobState::kCompleted);
+  const auto fn = svc.adjust(
+      [](const trace::JobRecord& j) { return static_cast<double>(j.duration); },
+      probe);
+  EXPECT_DOUBLE_EQ(fn(jc), 5.0);  // 10 * 0.5
+}
+
+TEST(MarqueeService, EmptyHistoryIsSafe) {
+  MarqueeService svc;
+  svc.update(Trace(spec()));
+  EXPECT_EQ(svc.marquee_count(), 0u);
+  EXPECT_FALSE(svc.is_marquee("anyone"));
+}
+
+TEST(MarqueeService, ReducesMarqueeQueuingEndToEnd) {
+  // Train QSSF + marquee detection on the operated Apr-Aug trace; in
+  // September, boosted marquee users should queue less than under plain
+  // QSSF without wrecking the overall average.
+  auto cfg = trace::GeneratorConfig::helios(trace::helios_cluster("Venus"), 61,
+                                            0.05);
+  Trace t = trace::SyntheticTraceGenerator(cfg).generate();
+  sim::operate_fifo(t);
+  const auto train = t.between(0, from_civil(2020, 9, 1));
+  const auto eval = t.between(from_civil(2020, 9, 1), trace::helios_trace_end());
+
+  QssfConfig qcfg;
+  qcfg.gbdt.n_trees = 20;
+  QssfService qssf(qcfg);
+  qssf.fit(train);
+  OnlinePriorityEvaluator evaluator(qssf, eval);
+
+  MarqueeConfig mcfg;
+  mcfg.queue_share_threshold = 0.03;
+  MarqueeService marquee(mcfg);
+  marquee.update(train);
+
+  auto run = [&](sim::PriorityFn fn) {
+    sim::SimConfig sc;
+    sc.policy = sim::SchedulerPolicy::kQssf;
+    sc.priority_fn = std::move(fn);
+    return sim::ClusterSimulator(eval.cluster(), sc).run(eval);
+  };
+  const auto plain = run(evaluator.as_priority_fn());
+  const auto boosted = run(marquee.adjust(evaluator.as_priority_fn(), eval));
+
+  if (marquee.marquee_count() == 0) GTEST_SKIP() << "no marquee users drawn";
+
+  auto marquee_delay = [&](const sim::SimResult& r) {
+    double sum = 0.0;
+    std::int64_t n = 0;
+    for (const auto& o : r.outcomes) {
+      if (o.rejected) continue;
+      if (marquee.is_marquee(eval.user_name(eval.jobs()[o.trace_index]))) {
+        sum += static_cast<double>(o.queue_delay());
+        ++n;
+      }
+    }
+    return n > 0 ? sum / static_cast<double>(n) : 0.0;
+  };
+  EXPECT_LE(marquee_delay(boosted), marquee_delay(plain) * 1.02);
+  EXPECT_LT(boosted.avg_jct, plain.avg_jct * 1.25);  // no global collapse
+}
+
+}  // namespace
+}  // namespace helios::core

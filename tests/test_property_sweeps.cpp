@@ -1,0 +1,166 @@
+// Parameterized property sweeps across clusters, seeds and scales: the
+// cheap-and-wide invariants that must hold for any configuration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "analysis/job_stats.h"
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+namespace helios {
+namespace {
+
+using trace::GeneratorConfig;
+using trace::SyntheticTraceGenerator;
+using trace::Trace;
+
+// ---------------------------------------------------------------------------
+// Generator invariants per (cluster, seed)
+// ---------------------------------------------------------------------------
+
+class GeneratorSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, std::uint64_t>> {};
+
+TEST_P(GeneratorSweep, StructuralInvariants) {
+  const auto [cluster, seed] = GetParam();
+  auto cfg = GeneratorConfig::helios(trace::helios_cluster(cluster), seed, 0.02);
+  const Trace t = SyntheticTraceGenerator(cfg).generate();
+  ASSERT_GT(t.size(), 100u);
+
+  std::int64_t gpu_jobs = 0;
+  for (const auto& j : t.jobs()) {
+    ASSERT_GE(j.submit_time, cfg.begin);
+    ASSERT_LT(j.submit_time, cfg.end + kSecondsPerDay);
+    ASSERT_GE(j.duration, 1);
+    ASSERT_LE(j.duration, 50 * 24 * 3600);
+    ASSERT_GE(j.num_gpus, 0);
+    ASSERT_GE(j.num_cpus, j.num_gpus > 0 ? 1 : 1);
+    ASSERT_LT(j.user, t.users().size());
+    ASSERT_LT(j.vc, t.vcs().size());
+    if (j.is_gpu_job()) {
+      ++gpu_jobs;
+      ASSERT_EQ(j.num_gpus & (j.num_gpus - 1), 0) << "power-of-two GPUs";
+    }
+  }
+  // GPU-job share near the cluster knob.
+  const double frac = static_cast<double>(gpu_jobs) / static_cast<double>(t.size());
+  EXPECT_NEAR(frac, trace::helios_knobs(cluster).gpu_job_fraction, 0.06);
+}
+
+TEST_P(GeneratorSweep, JobSizesFitTheirVc) {
+  const auto [cluster, seed] = GetParam();
+  auto cfg = GeneratorConfig::helios(trace::helios_cluster(cluster), seed, 0.02);
+  const Trace t = SyntheticTraceGenerator(cfg).generate();
+  for (const auto& j : t.jobs()) {
+    if (!j.is_gpu_job()) continue;
+    const int vi = t.cluster().find_vc(t.vc_name(j));
+    ASSERT_GE(vi, 0);
+    ASSERT_LE(j.num_gpus,
+              t.cluster().vcs[static_cast<std::size_t>(vi)].total_gpus());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClusters, GeneratorSweep,
+    ::testing::Combine(::testing::Values("Venus", "Earth", "Saturn", "Uranus"),
+                       ::testing::Values(1ULL, 99ULL)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Simulator invariants per (policy, backfill, seed)
+// ---------------------------------------------------------------------------
+
+class SimulatorSweep
+    : public ::testing::TestWithParam<
+          std::tuple<sim::SchedulerPolicy, bool, std::uint64_t>> {};
+
+TEST_P(SimulatorSweep, NeverOversubscribesAndConserves) {
+  const auto [policy, backfill, seed] = GetParam();
+  auto cfg = GeneratorConfig::helios(trace::helios_cluster("Earth"), seed, 0.02);
+  const Trace t = SyntheticTraceGenerator(cfg).generate();
+
+  sim::SimConfig sc;
+  sc.policy = policy;
+  sc.backfill = backfill;
+  if (policy == sim::SchedulerPolicy::kQssf) {
+    sc.priority_fn = [](const trace::JobRecord& j) {
+      return static_cast<double>(j.duration) * std::max(1, j.num_gpus);
+    };
+  }
+  const auto r = sim::ClusterSimulator(t.cluster(), sc).run(t);
+
+  const double capacity = t.cluster().total_gpus();
+  for (double g : r.busy_gpus.values) {
+    ASSERT_LE(g, capacity + 1e-6);
+    ASSERT_GE(g, -1e-9);
+  }
+  for (double n : r.busy_nodes.values) {
+    ASSERT_LE(n, t.cluster().nodes + 1e-6);
+  }
+  std::size_t done = 0;
+  for (const auto& o : r.outcomes) {
+    if (o.rejected) continue;
+    ASSERT_NE(o.start, trace::kNeverStarted);
+    ASSERT_GE(o.start, o.submit);
+    ++done;
+  }
+  EXPECT_EQ(done + static_cast<std::size_t>(r.rejected_jobs), r.outcomes.size());
+  // Total executed GPU time is policy-invariant (work conservation).
+  double executed = 0.0;
+  for (const auto& o : r.outcomes) {
+    if (!o.rejected) executed += t.jobs()[o.trace_index].gpu_time();
+  }
+  EXPECT_GT(executed, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyGrid, SimulatorSweep,
+    ::testing::Combine(::testing::Values(sim::SchedulerPolicy::kFifo,
+                                         sim::SchedulerPolicy::kSjf,
+                                         sim::SchedulerPolicy::kSrtf,
+                                         sim::SchedulerPolicy::kQssf),
+                       ::testing::Values(false, true),
+                       ::testing::Values(5ULL)),
+    [](const auto& info) {
+      return std::string(sim::to_string(std::get<0>(info.param))) +
+             (std::get<1>(info.param) ? "_backfill" : "_strict") + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Work conservation across policies: same trace, same total executed time
+// ---------------------------------------------------------------------------
+
+TEST(PolicyEquivalence, SameWorkDifferentOrder) {
+  auto cfg = GeneratorConfig::helios(trace::helios_cluster("Venus"), 31, 0.02);
+  const Trace t = SyntheticTraceGenerator(cfg).generate();
+  double executed_fifo = -1.0;
+  for (auto policy : {sim::SchedulerPolicy::kFifo, sim::SchedulerPolicy::kSjf}) {
+    sim::SimConfig sc;
+    sc.policy = policy;
+    const auto r = sim::ClusterSimulator(t.cluster(), sc).run(t);
+    double executed = 0.0;
+    std::int64_t rejected = 0;
+    for (const auto& o : r.outcomes) {
+      if (o.rejected) {
+        ++rejected;
+      } else {
+        executed += t.jobs()[o.trace_index].gpu_time();
+      }
+    }
+    if (executed_fifo < 0.0) {
+      executed_fifo = executed;
+    } else {
+      EXPECT_NEAR(executed, executed_fifo, 1.0);
+    }
+    EXPECT_EQ(rejected, r.rejected_jobs);
+  }
+}
+
+}  // namespace
+}  // namespace helios
