@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verify in one command: configure, build, run every gtest suite.
+#
+#   ./ci.sh            full build + full test sweep
+#   ./ci.sh smoke      full build + fast suites only (ctest -L smoke)
+#
+# Extra args after the mode are passed through to ctest.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+mode="${1:-full}"
+[ $# -gt 0 ] && shift
+case "$mode" in
+  full|smoke) ;;
+  *) echo "usage: ./ci.sh [full|smoke] [ctest args...]" >&2; exit 2 ;;
+esac
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+
+cd build
+if [ "$mode" = smoke ]; then
+  exec ctest -L smoke --output-on-failure -j "$(nproc)" "$@"
+fi
+exec ctest --output-on-failure -j "$(nproc)" "$@"

@@ -3,21 +3,26 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <vector>
 
 #include "common/civil_time.h"
+#include "common/thread_pool.h"
 
 namespace helios::analysis {
 
 using trace::JobRecord;
 using trace::Trace;
 
-std::vector<double> busy_gpu_seconds(const Trace& t, UnixTime begin, UnixTime end,
-                                     std::int64_t step, const JobPredicate& pred) {
-  const auto n_buckets =
-      static_cast<std::size_t>(std::max<std::int64_t>(0, (end - begin + step - 1) / step));
-  std::vector<double> busy(n_buckets, 0.0);
-  if (n_buckets == 0) return busy;
-  for (const auto& j : t.jobs()) {
+namespace {
+
+/// Accumulate busy GPU-seconds for jobs [lo, hi) into `busy`.
+void accumulate_busy(const std::vector<JobRecord>& jobs, std::size_t lo,
+                     std::size_t hi, UnixTime begin, UnixTime end,
+                     std::int64_t step, const JobPredicate& pred,
+                     std::vector<double>& busy) {
+  const std::size_t n_buckets = busy.size();
+  for (std::size_t i = lo; i < hi; ++i) {
+    const JobRecord& j = jobs[i];
     if (!j.started() || j.num_gpus <= 0) continue;
     if (pred && !pred(j)) continue;
     const UnixTime s = std::max<std::int64_t>(j.start_time, begin);
@@ -32,6 +37,43 @@ std::vector<double> busy_gpu_seconds(const Trace& t, UnixTime begin, UnixTime en
                                                  std::max(s, bucket_lo));
       busy[b] += overlap * j.num_gpus;
     }
+  }
+}
+
+/// Below this job count the fan-out overhead beats the win; it also keeps the
+/// small traces used by the unit tests on the exact serial summation order.
+constexpr std::size_t kParallelJobThreshold = 1 << 16;
+
+}  // namespace
+
+std::vector<double> busy_gpu_seconds(const Trace& t, UnixTime begin, UnixTime end,
+                                     std::int64_t step, const JobPredicate& pred) {
+  const auto n_buckets =
+      static_cast<std::size_t>(std::max<std::int64_t>(0, (end - begin + step - 1) / step));
+  std::vector<double> busy(n_buckets, 0.0);
+  if (n_buckets == 0) return busy;
+  const auto& jobs = t.jobs();
+  if (jobs.size() < kParallelJobThreshold) {
+    accumulate_busy(jobs, 0, jobs.size(), begin, end, step, pred, busy);
+    return busy;
+  }
+  // Chunk boundaries derive from fixed constants alone (never the machine's
+  // thread count) and partials merge in chunk order, so the floating-point
+  // summation order — and therefore every downstream figure — is identical
+  // on any machine, including single-core ones; extra chunks beyond the
+  // pool size just queue. The chunk cap bounds the transient partial
+  // buffers to kMaxChunks x n_buckets doubles.
+  constexpr std::size_t kMaxChunks = 64;
+  const auto chunks =
+      chunk_ranges(0, jobs.size(), kMaxChunks, kParallelJobThreshold);
+  std::vector<std::vector<double>> partial(chunks.size(),
+                                           std::vector<double>(n_buckets, 0.0));
+  parallel_run_chunks(chunks, [&](std::size_t c, std::size_t lo,
+                                  std::size_t hi) {
+    accumulate_busy(jobs, lo, hi, begin, end, step, pred, partial[c]);
+  });
+  for (const auto& p : partial) {
+    for (std::size_t b = 0; b < n_buckets; ++b) busy[b] += p[b];
   }
   return busy;
 }

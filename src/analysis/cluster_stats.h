@@ -32,6 +32,10 @@ using JobPredicate = std::function<bool(const trace::JobRecord&)>;
 
 /// Busy GPU-seconds per bucket over [begin, end), counting jobs matching
 /// `pred` (defaults to all GPU jobs). Jobs are clipped to the window.
+/// Large traces are accumulated in parallel: `pred` may be invoked
+/// concurrently from pool threads and must be thread-safe (stateless
+/// lambdas and value captures are fine). Results are deterministic and
+/// machine-independent.
 [[nodiscard]] std::vector<double> busy_gpu_seconds(
     const trace::Trace& t, UnixTime begin, UnixTime end, std::int64_t step,
     const JobPredicate& pred = nullptr);

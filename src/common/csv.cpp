@@ -47,6 +47,7 @@ std::vector<std::string> CsvReader::parse_line(std::string_view line) {
   std::vector<std::string> fields;
   std::string cur;
   bool quoted = false;
+  bool at_field_start = true;  // true until the field has any content
   for (std::size_t i = 0; i < line.size(); ++i) {
     const char c = line[i];
     if (quoted) {
@@ -60,13 +61,19 @@ std::vector<std::string> CsvReader::parse_line(std::string_view line) {
       } else {
         cur += c;
       }
-    } else if (c == '"') {
+    } else if (c == '"' && at_field_start) {
+      // RFC 4180: a quote only opens a quoted field at the field start; a
+      // stray quote mid-field is literal text and must not swallow the
+      // delimiters after it.
       quoted = true;
+      at_field_start = false;
     } else if (c == ',') {
       fields.push_back(std::move(cur));
       cur.clear();
+      at_field_start = true;
     } else if (c != '\r') {
       cur += c;
+      at_field_start = false;
     }
   }
   fields.push_back(std::move(cur));
@@ -77,7 +84,7 @@ std::vector<std::vector<std::string>> CsvReader::read_all(std::istream& in) {
   std::vector<std::vector<std::string>> rows;
   std::string line;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
+    if (is_blank_line(line)) continue;
     rows.push_back(parse_line(line));
   }
   return rows;

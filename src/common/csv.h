@@ -29,11 +29,21 @@ class CsvReader {
  public:
   /// Parse one CSV line into fields (handles quoted fields with embedded
   /// commas/quotes; does not handle embedded newlines, which the trace format
-  /// never produces).
+  /// never produces). Quotes open a quoted field only at the field start
+  /// (RFC 4180); mid-field quotes are literal text.
   static std::vector<std::string> parse_line(std::string_view line);
 
-  /// Read all rows from a stream; skips empty lines.
+  /// Read all rows from a stream; skips blank lines (including '\r'-only
+  /// lines from CRLF input).
   static std::vector<std::vector<std::string>> read_all(std::istream& in);
+
+  /// True for lines every reader skips: empty, or the lone '\r' that
+  /// std::getline / byte-chunked iteration leave behind on blank lines of
+  /// CRLF input. The single definition keeps the serial and parallel trace
+  /// loaders agreeing on what a blank line is.
+  [[nodiscard]] static bool is_blank_line(std::string_view line) noexcept {
+    return line.empty() || (line.size() == 1 && line[0] == '\r');
+  }
 };
 
 }  // namespace helios

@@ -3,7 +3,7 @@
 namespace helios {
 
 std::uint32_t StringInterner::intern(std::string_view s) {
-  auto it = index_.find(std::string(s));
+  auto it = index_.find(s);
   if (it != index_.end()) return it->second;
   const auto id = static_cast<std::uint32_t>(strings_.size());
   strings_.emplace_back(s);
@@ -12,8 +12,15 @@ std::uint32_t StringInterner::intern(std::string_view s) {
 }
 
 std::uint32_t StringInterner::find(std::string_view s) const noexcept {
-  auto it = index_.find(std::string(s));
+  auto it = index_.find(s);
   return it == index_.end() ? kNotFound : it->second;
+}
+
+std::vector<std::uint32_t> StringInterner::merge_from(const StringInterner& other) {
+  std::vector<std::uint32_t> remap;
+  remap.reserve(other.size());
+  for (const auto& s : other.strings()) remap.push_back(intern(s));
+  return remap;
 }
 
 }  // namespace helios

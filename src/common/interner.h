@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -34,10 +35,30 @@ class StringInterner {
     return strings_;
   }
 
+  /// Interns every string of `other` (in `other`'s id order) and returns the
+  /// remap table: `remap[other_id] == this->intern(other.str(other_id))`.
+  /// Merging shard interners in shard order reproduces the id assignment a
+  /// single interner would have made over the concatenated input, which is
+  /// what keeps parallel trace ingestion byte-identical to a serial load.
+  std::vector<std::uint32_t> merge_from(const StringInterner& other);
+
+  [[nodiscard]] bool operator==(const StringInterner& other) const noexcept {
+    return strings_ == other.strings_;
+  }
+
   static constexpr std::uint32_t kNotFound = 0xffffffffu;
 
  private:
-  std::unordered_map<std::string, std::uint32_t> index_;
+  // Heterogeneous lookup so intern()/find() on a string_view does not
+  // allocate a temporary std::string — this is the ingestion hot path.
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::unordered_map<std::string, std::uint32_t, Hash, std::equal_to<>> index_;
   std::vector<std::string> strings_;
 };
 

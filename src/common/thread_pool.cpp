@@ -55,23 +55,35 @@ ThreadPool& global_pool() {
   return pool;
 }
 
-void parallel_for_chunks(std::size_t begin, std::size_t end,
-                         const std::function<void(std::size_t, std::size_t)>& fn,
-                         std::size_t grain) {
-  if (begin >= end) return;
+std::vector<std::pair<std::size_t, std::size_t>> chunk_ranges(
+    std::size_t begin, std::size_t end, std::size_t max_chunks,
+    std::size_t grain) {
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  if (begin >= end) return chunks;
   const std::size_t n = end - begin;
-  auto& pool = global_pool();
-  const std::size_t max_chunks = pool.thread_count() * 4;
-  const std::size_t chunk =
-      std::max(grain, (n + max_chunks - 1) / std::max<std::size_t>(1, max_chunks));
-  if (n <= chunk) {
-    fn(begin, end);
+  const std::size_t chunk = std::max(
+      std::max<std::size_t>(grain, 1),
+      (n + max_chunks - 1) / std::max<std::size_t>(1, max_chunks));
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    chunks.emplace_back(lo, std::min(end, lo + chunk));
+  }
+  return chunks;
+}
+
+void parallel_run_chunks(
+    const std::vector<std::pair<std::size_t, std::size_t>>& chunks,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (chunks.empty()) return;
+  if (chunks.size() == 1) {
+    fn(0, chunks[0].first, chunks[0].second);
     return;
   }
+  auto& pool = global_pool();
   std::vector<std::future<void>> futures;
-  for (std::size_t lo = begin; lo < end; lo += chunk) {
-    const std::size_t hi = std::min(end, lo + chunk);
-    futures.push_back(pool.submit([lo, hi, &fn] { fn(lo, hi); }));
+  futures.reserve(chunks.size());
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const auto [lo, hi] = chunks[i];
+    futures.push_back(pool.submit([i, lo, hi, &fn] { fn(i, lo, hi); }));
   }
   std::exception_ptr first_error;
   for (auto& f : futures) {
@@ -82,6 +94,15 @@ void parallel_for_chunks(std::size_t begin, std::size_t end,
     }
   }
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& fn,
+                         std::size_t grain) {
+  if (begin >= end) return;  // don't spin up the pool for nothing
+  parallel_run_chunks(
+      chunk_ranges(begin, end, global_pool().thread_count() * 4, grain),
+      [&fn](std::size_t, std::size_t lo, std::size_t hi) { fn(lo, hi); });
 }
 
 void parallel_for(std::size_t begin, std::size_t end,

@@ -14,6 +14,7 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace helios {
@@ -57,5 +58,19 @@ void parallel_for(std::size_t begin, std::size_t end,
 void parallel_for_chunks(std::size_t begin, std::size_t end,
                          const std::function<void(std::size_t, std::size_t)>& fn,
                          std::size_t grain = 1024);
+
+/// Splits [begin, end) into at most `max_chunks` contiguous chunks of at
+/// least `grain` each. Lets callers pre-size per-chunk scratch (partial
+/// sums, shards) before fanning out with parallel_run_chunks.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> chunk_ranges(
+    std::size_t begin, std::size_t end, std::size_t max_chunks,
+    std::size_t grain = 1);
+
+/// Runs fn(chunk_index, lo, hi) for each range on the global pool and blocks
+/// until done. A single chunk runs inline. Exceptions from fn propagate to
+/// the caller (first one wins).
+void parallel_run_chunks(
+    const std::vector<std::pair<std::size_t, std::size_t>>& chunks,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
 
 }  // namespace helios

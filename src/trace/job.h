@@ -70,6 +70,9 @@ struct JobRecord {
   [[nodiscard]] std::int64_t jct() const noexcept {
     return started() ? end_time() - submit_time : 0;
   }
+
+  [[nodiscard]] friend bool operator==(const JobRecord&,
+                                       const JobRecord&) = default;
 };
 
 }  // namespace helios::trace

@@ -28,6 +28,41 @@ JobRecord& Trace::add(UnixTime submit, std::int32_t duration, std::int32_t gpus,
   return jobs_.back();
 }
 
+bool Trace::append_csv_row(std::string_view line) {
+  if (CsvReader::is_blank_line(line)) return false;
+  const auto fields = CsvReader::parse_line(line);
+  if (fields.size() != 10) {
+    throw std::runtime_error("trace CSV: expected 10 fields, got " +
+                             std::to_string(fields.size()));
+  }
+  auto& j = add(std::stoll(fields[1]),
+                static_cast<std::int32_t>(std::stol(fields[3])),
+                static_cast<std::int32_t>(std::stol(fields[4])),
+                static_cast<std::int32_t>(std::stol(fields[5])), fields[6],
+                fields[7], fields[8], job_state_from_string(fields[9]));
+  j.job_id = static_cast<std::uint64_t>(std::stoull(fields[0]));
+  j.start_time = std::stoll(fields[2]);
+  return true;
+}
+
+void Trace::append(const Trace& other) {
+  const auto user_map = users_.merge_from(other.users_);
+  const auto vc_map = vcs_.merge_from(other.vcs_);
+  const auto name_map = names_.merge_from(other.names_);
+  jobs_.reserve(jobs_.size() + other.jobs_.size());
+  for (JobRecord j : other.jobs_) {
+    j.user = user_map[j.user];
+    j.vc = vc_map[j.vc];
+    j.name = name_map[j.name];
+    jobs_.push_back(j);
+  }
+}
+
+bool Trace::contents_equal(const Trace& other) const noexcept {
+  return jobs_ == other.jobs_ && users_ == other.users_ &&
+         vcs_ == other.vcs_ && names_ == other.names_;
+}
+
 void Trace::sort_by_submit_time() {
   std::stable_sort(jobs_.begin(), jobs_.end(),
                    [](const JobRecord& a, const JobRecord& b) {
@@ -80,23 +115,12 @@ Trace Trace::load_csv(std::istream& in, ClusterSpec cluster) {
   std::string line;
   bool header = true;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
+    if (CsvReader::is_blank_line(line)) continue;
     if (header) {  // skip schema row
       header = false;
       continue;
     }
-    const auto fields = CsvReader::parse_line(line);
-    if (fields.size() != 10) {
-      throw std::runtime_error("trace CSV: expected 10 fields, got " +
-                               std::to_string(fields.size()));
-    }
-    auto& j = t.add(std::stoll(fields[1]),
-                    static_cast<std::int32_t>(std::stol(fields[3])),
-                    static_cast<std::int32_t>(std::stol(fields[4])),
-                    static_cast<std::int32_t>(std::stol(fields[5])), fields[6],
-                    fields[7], fields[8], job_state_from_string(fields[9]));
-    j.job_id = static_cast<std::uint64_t>(std::stoull(fields[0]));
-    j.start_time = std::stoll(fields[2]);
+    t.append_csv_row(line);
   }
   return t;
 }

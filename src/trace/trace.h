@@ -28,6 +28,17 @@ class Trace {
                  std::int32_t cpus, std::string_view user, std::string_view vc,
                  std::string_view name, JobState state);
 
+  /// Parse one CSV data line (the load_csv schema, sans header) and append
+  /// it. Returns false (without appending) for blank lines — empty or a lone
+  /// '\r' from CRLF input. Throws std::runtime_error on a malformed row.
+  bool append_csv_row(std::string_view line);
+
+  /// Append all of `other`'s jobs, re-interning their user/vc/name ids into
+  /// this trace's tables. Job order and all other fields are preserved; the
+  /// cluster spec of `other` is ignored. This is the shard-merge primitive of
+  /// trace::ParallelLoader.
+  void append(const Trace& other);
+
   /// Stable-sort jobs by submission time (scheduler replay order).
   void sort_by_submit_time();
 
@@ -70,6 +81,11 @@ class Trace {
   /// GPU jobs only / CPU jobs only.
   [[nodiscard]] Trace gpu_jobs() const;
   [[nodiscard]] Trace cpu_jobs() const;
+
+  /// True when both traces hold the same job records and identical interner
+  /// tables (ids included) — i.e. their save_csv output is byte-identical.
+  /// Cluster specs are not compared.
+  [[nodiscard]] bool contents_equal(const Trace& other) const noexcept;
 
   /// -- CSV round trip -------------------------------------------------------
 

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "common/interner.h"
+#include "trace/trace.h"
+
+namespace helios {
+namespace {
+
+TEST(InternerMerge, RemapsIntoExistingTable) {
+  StringInterner global;
+  global.intern("alice");  // 0
+  global.intern("bob");    // 1
+
+  StringInterner shard;
+  shard.intern("carol");  // shard-local 0
+  shard.intern("alice");  // shard-local 1
+
+  const auto remap = global.merge_from(shard);
+  ASSERT_EQ(remap.size(), 2u);
+  EXPECT_EQ(remap[0], 2u);  // carol is new -> next dense id
+  EXPECT_EQ(remap[1], 0u);  // alice keeps its existing id
+  EXPECT_EQ(global.size(), 3u);
+  EXPECT_EQ(global.str(2), "carol");
+}
+
+TEST(InternerMerge, DuplicateStringsAcrossShardsShareOneId) {
+  StringInterner shard_a;
+  shard_a.intern("vcA");
+  shard_a.intern("vcB");
+
+  StringInterner shard_b;
+  shard_b.intern("vcB");  // duplicate of shard_a's
+  shard_b.intern("vcC");
+
+  StringInterner global;
+  const auto map_a = global.merge_from(shard_a);
+  const auto map_b = global.merge_from(shard_b);
+
+  EXPECT_EQ(global.size(), 3u);
+  EXPECT_EQ(map_a[1], map_b[0]);  // both shards' "vcB" map to the same id
+  EXPECT_EQ(global.str(map_b[1]), "vcC");
+}
+
+TEST(InternerMerge, EmptyShardIsANoOp) {
+  StringInterner global;
+  global.intern("x");
+  const StringInterner empty;
+  const auto remap = global.merge_from(empty);
+  EXPECT_TRUE(remap.empty());
+  EXPECT_EQ(global.size(), 1u);
+}
+
+TEST(InternerMerge, MergeIntoEmptyPreservesIdOrder) {
+  StringInterner shard;
+  shard.intern("u1");
+  shard.intern("u2");
+  shard.intern("u3");
+
+  StringInterner global;
+  const auto remap = global.merge_from(shard);
+  // Merging into an empty interner is an identity mapping.
+  for (std::uint32_t i = 0; i < remap.size(); ++i) EXPECT_EQ(remap[i], i);
+  EXPECT_EQ(global, shard);
+}
+
+TEST(InternerMerge, ShardOrderReproducesSerialFirstOccurrenceOrder) {
+  // Serial interning over the concatenated stream...
+  StringInterner serial;
+  for (const char* s : {"a", "b", "a", "c", "b", "d"}) serial.intern(s);
+
+  // ...must equal shard-wise interning merged in shard order.
+  StringInterner shard0;  // covers "a", "b", "a"
+  shard0.intern("a");
+  shard0.intern("b");
+  shard0.intern("a");
+  StringInterner shard1;  // covers "c", "b", "d"
+  shard1.intern("c");
+  shard1.intern("b");
+  shard1.intern("d");
+
+  StringInterner merged;
+  merged.merge_from(shard0);
+  merged.merge_from(shard1);
+  EXPECT_EQ(merged, serial);
+}
+
+TEST(TraceAppend, RemapsJobStringIds) {
+  using namespace trace;
+  Trace a;
+  a.add(10, 5, 1, 4, "alice", "vcA", "train", JobState::kCompleted);
+
+  Trace b;
+  b.add(20, 7, 2, 8, "bob", "vcA", "eval", JobState::kFailed);
+  b.add(30, 9, 0, 2, "alice", "vcB", "train", JobState::kCanceled);
+
+  a.append(b);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.user_name(a.jobs()[1]), "bob");
+  EXPECT_EQ(a.user_name(a.jobs()[2]), "alice");
+  EXPECT_EQ(a.jobs()[0].user, a.jobs()[2].user);  // shared id after remap
+  EXPECT_EQ(a.vc_name(a.jobs()[1]), "vcA");
+  EXPECT_EQ(a.vc_name(a.jobs()[2]), "vcB");
+  EXPECT_EQ(a.job_name(a.jobs()[2]), "train");
+  EXPECT_EQ(a.jobs()[0].name, a.jobs()[2].name);
+  // Non-string fields ride through untouched.
+  EXPECT_EQ(a.jobs()[1].submit_time, 20);
+  EXPECT_EQ(a.jobs()[1].num_gpus, 2);
+  EXPECT_EQ(a.jobs()[2].state, JobState::kCanceled);
+}
+
+TEST(TraceAppend, AppendingEmptyTraceIsANoOp) {
+  using namespace trace;
+  Trace a;
+  a.add(10, 5, 1, 4, "alice", "vcA", "train", JobState::kCompleted);
+  const Trace before = a;
+  a.append(Trace());
+  EXPECT_TRUE(a.contents_equal(before));
+}
+
+}  // namespace
+}  // namespace helios
