@@ -1,6 +1,16 @@
 // google-benchmark microbenchmarks for the trace generator and the
 // discrete-event simulator (jobs scheduled per second of wall time).
+//
+// The BM_Simulate* benches run the VC-sharded simulator (the default
+// SimExecution::kSharded) over a cached multi-VC Venus trace at scale 0.1;
+// BM_SimulateSerial* runs the retained serial reference for comparison.
+// main() first asserts sharded-vs-serial SimResult parity for every policy —
+// a perf run against a broken simulator must fail loudly, not report a
+// meaningless speedup. See BENCH_sim.json for recorded before/after numbers.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
 
 #include "sim/simulator.h"
 #include "trace/synthetic.h"
@@ -27,21 +37,29 @@ BENCHMARK(BM_TraceGeneration)->Arg(20)->Arg(100)->Unit(benchmark::kMillisecond);
 const trace::Trace& cached_trace() {
   static const trace::Trace t = [] {
     auto cfg = trace::GeneratorConfig::helios(trace::helios_cluster("Venus"), 42,
-                                              0.05);
+                                              0.1);
     return trace::SyntheticTraceGenerator(cfg).generate();
   }();
   return t;
 }
 
-void run_policy(benchmark::State& state, sim::SchedulerPolicy policy) {
-  const auto& t = cached_trace();
+sim::SimConfig policy_config(sim::SchedulerPolicy policy,
+                             sim::SimExecution execution) {
   sim::SimConfig cfg;
   cfg.policy = policy;
+  cfg.execution = execution;
   if (policy == sim::SchedulerPolicy::kQssf) {
     cfg.priority_fn = [](const trace::JobRecord& j) {
       return static_cast<double>(j.duration) * j.num_gpus;
     };
   }
+  return cfg;
+}
+
+void run_policy(benchmark::State& state, sim::SchedulerPolicy policy,
+                sim::SimExecution execution) {
+  const auto& t = cached_trace();
+  const auto cfg = policy_config(policy, execution);
   std::size_t jobs = 0;
   for (auto _ : state) {
     sim::ClusterSimulator sim(t.cluster(), cfg);
@@ -54,22 +72,84 @@ void run_policy(benchmark::State& state, sim::SchedulerPolicy policy) {
 }
 
 void BM_SimulateFifo(benchmark::State& state) {
-  run_policy(state, sim::SchedulerPolicy::kFifo);
+  run_policy(state, sim::SchedulerPolicy::kFifo, sim::SimExecution::kSharded);
 }
 void BM_SimulateSjf(benchmark::State& state) {
-  run_policy(state, sim::SchedulerPolicy::kSjf);
+  run_policy(state, sim::SchedulerPolicy::kSjf, sim::SimExecution::kSharded);
 }
 void BM_SimulateSrtf(benchmark::State& state) {
-  run_policy(state, sim::SchedulerPolicy::kSrtf);
+  run_policy(state, sim::SchedulerPolicy::kSrtf, sim::SimExecution::kSharded);
 }
 void BM_SimulateQssf(benchmark::State& state) {
-  run_policy(state, sim::SchedulerPolicy::kQssf);
+  run_policy(state, sim::SchedulerPolicy::kQssf, sim::SimExecution::kSharded);
 }
 BENCHMARK(BM_SimulateFifo)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulateSjf)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulateSrtf)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulateQssf)->Unit(benchmark::kMillisecond);
 
+void BM_SimulateSerialFifo(benchmark::State& state) {
+  run_policy(state, sim::SchedulerPolicy::kFifo, sim::SimExecution::kSerial);
+}
+void BM_SimulateSerialSjf(benchmark::State& state) {
+  run_policy(state, sim::SchedulerPolicy::kSjf, sim::SimExecution::kSerial);
+}
+void BM_SimulateSerialSrtf(benchmark::State& state) {
+  run_policy(state, sim::SchedulerPolicy::kSrtf, sim::SimExecution::kSerial);
+}
+void BM_SimulateSerialQssf(benchmark::State& state) {
+  run_policy(state, sim::SchedulerPolicy::kQssf, sim::SimExecution::kSerial);
+}
+BENCHMARK(BM_SimulateSerialFifo)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateSerialSjf)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateSerialSrtf)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateSerialQssf)->Unit(benchmark::kMillisecond);
+
+/// Hard parity gate: the sharded simulator must reproduce the serial
+/// reference exactly on the benchmark workload before any timing runs.
+void verify_sharded_parity() {
+  const auto& t = cached_trace();
+  for (const auto policy :
+       {sim::SchedulerPolicy::kFifo, sim::SchedulerPolicy::kSjf,
+        sim::SchedulerPolicy::kSrtf, sim::SchedulerPolicy::kQssf}) {
+    const auto serial =
+        sim::ClusterSimulator(t.cluster(),
+                              policy_config(policy, sim::SimExecution::kSerial))
+            .run(t);
+    const auto sharded =
+        sim::ClusterSimulator(
+            t.cluster(), policy_config(policy, sim::SimExecution::kSharded))
+            .run(t);
+    bool ok = serial.outcomes.size() == sharded.outcomes.size() &&
+              serial.avg_jct == sharded.avg_jct &&
+              serial.avg_queue_delay == sharded.avg_queue_delay &&
+              serial.preemptions == sharded.preemptions &&
+              serial.rejected_jobs == sharded.rejected_jobs &&
+              serial.busy_gpus.values == sharded.busy_gpus.values &&
+              serial.busy_nodes.values == sharded.busy_nodes.values;
+    for (std::size_t i = 0; ok && i < serial.outcomes.size(); ++i) {
+      ok = serial.outcomes[i].start == sharded.outcomes[i].start &&
+           serial.outcomes[i].end == sharded.outcomes[i].end &&
+           serial.outcomes[i].rejected == sharded.outcomes[i].rejected;
+    }
+    if (!ok) {
+      std::fprintf(stderr,
+                   "FATAL: sharded simulator diverges from serial reference "
+                   "under %.*s\n",
+                   static_cast<int>(sim::to_string(policy).size()),
+                   sim::to_string(policy).data());
+      std::exit(1);
+    }
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  verify_sharded_parity();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,20 +3,46 @@
 #
 #   ./ci.sh            full build + full test sweep
 #   ./ci.sh smoke      full build + fast suites only (ctest -L smoke)
+#   ./ci.sh bench      full build + microbenchmark smoke run (short
+#                      --benchmark_min_time so perf regressions fail loudly
+#                      instead of silently; binaries are built -O2 -DNDEBUG)
 #
-# Extra args after the mode are passed through to ctest.
+# Extra args after the mode are passed through to ctest (full/smoke) or to
+# the microbenchmarks (bench).
 set -euo pipefail
 cd "$(dirname "$0")"
 
 mode="${1:-full}"
 [ $# -gt 0 ] && shift
 case "$mode" in
-  full|smoke) ;;
-  *) echo "usage: ./ci.sh [full|smoke] [ctest args...]" >&2; exit 2 ;;
+  full|smoke|bench) ;;
+  *) echo "usage: ./ci.sh [full|smoke|bench] [args...]" >&2; exit 2 ;;
 esac
 
-cmake -B build -S .
+# Release is the CMake default here, but pin it so benches are always built
+# -O2 -DNDEBUG even if a stale cache says otherwise.
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$(nproc)"
+
+if [ "$mode" = bench ]; then
+  # Perf smoke: run each microbenchmark briefly; any crash, assertion (the
+  # sim bench verifies sharded-vs-serial parity at startup), or missing
+  # binary fails the script.
+  if [ ! -x build/microbench_sim ]; then
+    echo "FAIL: microbench_sim not built (install google-benchmark)" >&2
+    exit 1
+  fi
+  build/microbench_sim --benchmark_min_time=0.1 "$@"
+  if [ ! -x build/microbench_ingest ]; then
+    echo "FAIL: microbench_ingest not built" >&2
+    exit 1
+  fi
+  # Small row count: smoke-check the ingestion pipeline, not a full run.
+  HELIOS_INGEST_ROWS="${HELIOS_INGEST_ROWS:-100000}" \
+  HELIOS_INGEST_REPS="${HELIOS_INGEST_REPS:-1}" \
+    build/microbench_ingest
+  exit 0
+fi
 
 cd build
 if [ "$mode" = smoke ]; then

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
+
+#include "common/env.h"
 
 namespace helios {
 
@@ -51,7 +54,11 @@ void ThreadPool::worker_loop() {
 }
 
 ThreadPool& global_pool() {
-  static ThreadPool pool;
+  // HELIOS_THREADS overrides the pool width at first use (0 = hardware
+  // concurrency) — the same knob the benches use, and the only way to
+  // exercise the multi-worker paths on a single-core CI machine.
+  static ThreadPool pool(static_cast<std::size_t>(
+      std::max<std::int64_t>(0, env_int("HELIOS_THREADS", 0))));
   return pool;
 }
 
@@ -94,6 +101,54 @@ void parallel_run_chunks(
     }
   }
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_run_tasks(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (tasks.size() == 1) {
+    tasks[0]();
+    return;
+  }
+  // Shared ownership so helper jobs that outlive the call (they may still be
+  // spinning through the exhausted task list) never touch freed state.
+  struct Shared {
+    std::vector<std::function<void()>> tasks;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::exception_ptr error;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->tasks = std::move(tasks);
+  const std::size_t n = shared->tasks.size();
+  auto drain = [shared, n] {
+    for (;;) {
+      const std::size_t i = shared->next.fetch_add(1);
+      if (i >= n) return;
+      try {
+        shared->tasks[i]();
+      } catch (...) {
+        std::lock_guard lock(shared->mutex);
+        if (!shared->error) shared->error = std::current_exception();
+      }
+      if (shared->done.fetch_add(1) + 1 == n) {
+        std::lock_guard lock(shared->mutex);
+        shared->cv.notify_all();
+      }
+    }
+  };
+  auto& pool = global_pool();
+  // A single-threaded pool adds nothing over the caller draining alone, and
+  // on a one-core machine the extra thread only causes context-switch
+  // ping-pong with the caller.
+  const std::size_t helpers =
+      pool.thread_count() > 1 ? std::min(n - 1, pool.thread_count()) : 0;
+  for (std::size_t h = 0; h < helpers; ++h) pool.submit(drain);
+  drain();
+  std::unique_lock lock(shared->mutex);
+  shared->cv.wait(lock, [&] { return shared->done.load() == n; });
+  if (shared->error) std::rethrow_exception(shared->error);
 }
 
 void parallel_for_chunks(std::size_t begin, std::size_t end,

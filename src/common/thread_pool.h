@@ -43,7 +43,8 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Process-wide pool (lazily constructed, sized to hardware concurrency).
+/// Process-wide pool (lazily constructed, sized to hardware concurrency;
+/// the HELIOS_THREADS environment variable overrides the width at first use).
 ThreadPool& global_pool();
 
 /// Runs fn(i) for i in [begin, end) across the global pool and blocks until
@@ -72,5 +73,15 @@ void parallel_for_chunks(std::size_t begin, std::size_t end,
 void parallel_run_chunks(
     const std::vector<std::pair<std::size_t, std::size_t>>& chunks,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+/// Runs a set of heterogeneous tasks to completion, using pool workers *and*
+/// the calling thread, then blocks until every task finished. Unlike waiting
+/// on per-task futures, the caller drains the shared task list itself, so
+/// this is safe to call from inside a pool worker even when every other
+/// worker is blocked — the caller alone guarantees forward progress. Used by
+/// the VC-sharded simulator, whose shards are uneven and may themselves run
+/// under a parallel driver. The first exception propagates after all tasks
+/// have finished.
+void parallel_run_tasks(std::vector<std::function<void()>> tasks);
 
 }  // namespace helios

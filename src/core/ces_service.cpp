@@ -6,6 +6,7 @@
 #include <limits>
 #include <queue>
 
+#include "sim/bucket_integrator.h"
 #include "sim/simulator.h"
 #include "stats/metrics.h"
 
@@ -33,45 +34,6 @@ void CesService::update(const Trace& new_data) {
 }
 
 namespace {
-
-/// Mean-per-bucket integrator (duplicated minimal helper; the simulator's is
-/// internal to its TU).
-class SeriesAccumulator {
- public:
-  SeriesAccumulator(UnixTime begin, UnixTime end, std::int64_t step)
-      : begin_(begin), step_(step),
-        sums_(static_cast<std::size_t>(
-                  std::max<std::int64_t>(1, (end - begin + step - 1) / step)),
-              0.0) {}
-
-  void add(UnixTime t0, UnixTime t1, double value) {
-    if (value == 0.0 || t1 <= t0) return;
-    t0 = std::max(t0, begin_);
-    t1 = std::min<UnixTime>(t1, begin_ + static_cast<UnixTime>(sums_.size()) * step_);
-    if (t1 <= t0) return;
-    auto b = static_cast<std::size_t>((t0 - begin_) / step_);
-    const auto b_end = static_cast<std::size_t>((t1 - 1 - begin_) / step_);
-    for (; b <= b_end && b < sums_.size(); ++b) {
-      const UnixTime lo = begin_ + static_cast<UnixTime>(b) * step_;
-      const UnixTime hi = lo + step_;
-      sums_[b] += value * static_cast<double>(std::min(t1, hi) - std::max(t0, lo));
-    }
-  }
-
-  [[nodiscard]] forecast::TimeSeries mean_series() const {
-    forecast::TimeSeries s;
-    s.begin = begin_;
-    s.step = step_;
-    s.values.reserve(sums_.size());
-    for (double v : sums_) s.values.push_back(v / static_cast<double>(step_));
-    return s;
-  }
-
- private:
-  UnixTime begin_;
-  std::int64_t step_;
-  std::vector<double> sums_;
-};
 
 struct Finish {
   std::int64_t time = 0;
@@ -146,8 +108,8 @@ CesResult CesService::replay(const Trace& eval_full,
     observed.step = config_.series_step;
   }
 
-  SeriesAccumulator running_acc(begin, end, config_.series_step);
-  SeriesAccumulator active_acc(begin, end, config_.series_step);
+  sim::BucketIntegrator running_acc(begin, end, config_.series_step);
+  sim::BucketIntegrator active_acc(begin, end, config_.series_step);
   result.predicted_nodes.begin = begin;
   result.predicted_nodes.step = config_.series_step;
   std::vector<double> predicted_samples;

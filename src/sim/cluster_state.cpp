@@ -1,80 +1,91 @@
 #include "sim/cluster_state.h"
 
 #include <algorithm>
-#include <limits>
 
 namespace helios::sim {
 
 ClusterState::ClusterState(const trace::ClusterSpec& spec) {
   vc_nodes_.resize(spec.vcs.size());
+  index_.resize(spec.vcs.size());
   for (std::size_t vi = 0; vi < spec.vcs.size(); ++vi) {
     const auto& vc = spec.vcs[vi];
+    VcIndex& ix = index_[vi];
+    ix.gpn = vc.nodes > 0 ? vc.gpus_per_node : 0;
+    ix.by_free.resize(static_cast<std::size_t>(ix.gpn) + 1);
     for (int n = 0; n < vc.nodes; ++n) {
       Node node;
       node.vc = static_cast<int>(vi);
       node.total_gpus = vc.gpus_per_node;
       node.free_gpus = vc.gpus_per_node;
-      vc_nodes_[vi].push_back(static_cast<int>(nodes_.size()));
+      const int ni = static_cast<int>(nodes_.size());
+      vc_nodes_[vi].push_back(ni);
+      ix.by_free[static_cast<std::size_t>(node.free_gpus)].insert(ni);
+      ix.capacity += node.total_gpus;
+      ix.sched_total += node.total_gpus;
+      ix.sched_free += node.free_gpus;
       nodes_.push_back(node);
     }
   }
 }
 
+void ClusterState::bucket_erase(const Node& n, int ni) {
+  index_[static_cast<std::size_t>(n.vc)]
+      .by_free[static_cast<std::size_t>(n.free_gpus)]
+      .erase(ni);
+}
+
+void ClusterState::bucket_insert(const Node& n, int ni) {
+  index_[static_cast<std::size_t>(n.vc)]
+      .by_free[static_cast<std::size_t>(n.free_gpus)]
+      .insert(ni);
+}
+
 std::optional<Allocation> ClusterState::try_allocate(int vc, int gpus) {
   if (vc < 0 || vc >= vc_count() || gpus <= 0) return std::nullopt;
-  const auto& indices = vc_nodes_[static_cast<std::size_t>(vc)];
-  Allocation alloc;
+  VcIndex& ix = index_[static_cast<std::size_t>(vc)];
+  const int gpn = ix.gpn;
+  if (gpn == 0 || gpus > ix.sched_free) return std::nullopt;
 
-  // Best-fit helper: schedulable node with the fewest free GPUs >= want.
-  auto best_fit = [&](int want, bool require_empty) -> int {
-    int best = -1;
-    int best_free = std::numeric_limits<int>::max();
-    for (int ni : indices) {
-      const Node& n = nodes_[static_cast<std::size_t>(ni)];
-      if (!n.schedulable() || n.free_gpus < want) continue;
-      if (require_empty && n.free_gpus != n.total_gpus) continue;
-      if (n.free_gpus < best_free) {
-        best_free = n.free_gpus;
-        best = ni;
-      }
+  Allocation alloc;
+  // Best-fit: the first non-empty free-count bucket >= want holds the nodes
+  // with the fewest free GPUs that still fit; the lowest id among them is
+  // what the previous linear scan picked.
+  auto best_fit = [&](int want) -> int {
+    for (int f = want; f <= gpn; ++f) {
+      const auto& bucket = ix.by_free[static_cast<std::size_t>(f)];
+      if (!bucket.empty()) return bucket.front();
     }
-    return best;
+    return -1;
   };
 
-  const int gpn = indices.empty()
-                      ? 0
-                      : nodes_[static_cast<std::size_t>(indices[0])].total_gpus;
-  if (gpn == 0) return std::nullopt;
-
   if (gpus <= gpn) {
-    const int ni = best_fit(gpus, /*require_empty=*/false);
+    const int ni = best_fit(gpus);
     if (ni < 0) return std::nullopt;
     alloc.node_gpus.emplace_back(ni, gpus);
   } else {
     // Multi-node gang: full nodes first, remainder best-fit.
     const int full_nodes = gpus / gpn;
     const int rem = gpus % gpn;
-    std::vector<int> picked;
-    picked.reserve(static_cast<std::size_t>(full_nodes));
-    for (int ni : indices) {
-      if (static_cast<int>(picked.size()) == full_nodes) break;
-      const Node& n = nodes_[static_cast<std::size_t>(ni)];
-      if (n.schedulable() && n.free_gpus == n.total_gpus) picked.push_back(ni);
+    const auto& fully_free = ix.by_free[static_cast<std::size_t>(gpn)];
+    if (static_cast<int>(fully_free.size()) < full_nodes) return std::nullopt;
+    for (int k = 0; k < full_nodes; ++k) {
+      alloc.node_gpus.emplace_back(fully_free.at(static_cast<std::size_t>(k)),
+                                   gpn);
     }
-    if (static_cast<int>(picked.size()) < full_nodes) return std::nullopt;
-    for (int ni : picked) alloc.node_gpus.emplace_back(ni, gpn);
     if (rem > 0) {
-      // The remainder must land on a node not already fully taken.
+      // The remainder must land on a node not already fully taken; the first
+      // fully-free node past the picked prefix is the fallback.
       int best = -1;
-      int best_free = std::numeric_limits<int>::max();
-      for (int ni : indices) {
-        if (std::find(picked.begin(), picked.end(), ni) != picked.end()) continue;
-        const Node& n = nodes_[static_cast<std::size_t>(ni)];
-        if (!n.schedulable() || n.free_gpus < rem) continue;
-        if (n.free_gpus < best_free) {
-          best_free = n.free_gpus;
-          best = ni;
+      for (int f = rem; f < gpn; ++f) {
+        const auto& bucket = ix.by_free[static_cast<std::size_t>(f)];
+        if (!bucket.empty()) {
+          best = bucket.front();
+          break;
         }
+      }
+      if (best < 0 &&
+          static_cast<int>(fully_free.size()) > full_nodes) {
+        best = fully_free.at(static_cast<std::size_t>(full_nodes));
       }
       if (best < 0) return std::nullopt;
       alloc.node_gpus.emplace_back(best, rem);
@@ -89,7 +100,12 @@ void ClusterState::apply(const Allocation& a, int sign) {
   for (auto [ni, g] : a.node_gpus) {
     Node& n = nodes_[static_cast<std::size_t>(ni)];
     const bool was_busy = n.busy();
+    // Allocated nodes are always kActive (sleep only takes idle nodes, and
+    // booting nodes are not schedulable), so the bucket move is unconditional.
+    bucket_erase(n, ni);
     n.free_gpus += sign * g;
+    bucket_insert(n, ni);
+    index_[static_cast<std::size_t>(n.vc)].sched_free += sign * g;
     busy_gpus_ -= sign * g;
     if (was_busy != n.busy()) busy_nodes_ += n.busy() ? 1 : -1;
   }
@@ -99,144 +115,111 @@ void ClusterState::release(const Allocation& a) { apply(a, /*sign=*/+1); }
 
 void ClusterState::reclaim(const Allocation& a) { apply(a, /*sign=*/-1); }
 
-int ClusterState::free_gpus(int vc) const noexcept {
-  int total = 0;
-  for (int ni : vc_nodes_[static_cast<std::size_t>(vc)]) {
-    const Node& n = nodes_[static_cast<std::size_t>(ni)];
-    if (n.schedulable()) total += n.free_gpus;
-  }
-  return total;
-}
-
-int ClusterState::schedulable_gpus(int vc) const noexcept {
-  int total = 0;
-  for (int ni : vc_nodes_[static_cast<std::size_t>(vc)]) {
-    const Node& n = nodes_[static_cast<std::size_t>(ni)];
-    if (n.schedulable()) total += n.total_gpus;
-  }
-  return total;
-}
-
-int ClusterState::capacity_gpus(int vc) const noexcept {
-  int total = 0;
-  for (int ni : vc_nodes_[static_cast<std::size_t>(vc)]) {
-    total += nodes_[static_cast<std::size_t>(ni)].total_gpus;
-  }
-  return total;
-}
-
-bool ClusterState::can_ever_fit(int vc, int gpus) const noexcept {
-  return vc >= 0 && vc < vc_count() && gpus > 0 && gpus <= capacity_gpus(vc);
-}
-
-int ClusterState::busy_nodes() const noexcept { return busy_nodes_; }
-
-int ClusterState::busy_gpus() const noexcept { return busy_gpus_; }
-
-int ClusterState::active_nodes() const noexcept {
-  int c = 0;
-  for (const auto& n : nodes_) c += n.power != PowerState::kSleeping;
-  return c;
-}
-
-int ClusterState::sleeping_nodes() const noexcept {
-  return node_count() - active_nodes();
+void ClusterState::sleep_node(int ni) {
+  Node& n = nodes_[static_cast<std::size_t>(ni)];
+  VcIndex& ix = index_[static_cast<std::size_t>(n.vc)];
+  bucket_erase(n, ni);
+  n.power = PowerState::kSleeping;
+  ix.sched_total -= n.total_gpus;
+  ix.sched_free -= n.free_gpus;
+  ix.sleeping.insert(ni);
+  ++sleeping_count_;
 }
 
 int ClusterState::sleep_idle_nodes(int count) {
   int slept = 0;
-  for (auto& n : nodes_) {
-    if (slept == count) break;
-    if (n.power == PowerState::kActive && !n.busy()) {
-      n.power = PowerState::kSleeping;
+  // Idle active nodes are exactly the fully-free buckets; VCs hold
+  // contiguous ascending node-id ranges, so per-VC ascending order is global
+  // node order.
+  for (auto& ix : index_) {
+    if (ix.gpn == 0) continue;
+    auto& idle = ix.by_free[static_cast<std::size_t>(ix.gpn)];
+    while (slept < count && !idle.empty()) {
+      sleep_node(idle.front());
       ++slept;
     }
+    if (slept == count) break;
   }
   return slept;
 }
 
 int ClusterState::sleep_idle_nodes_in_vc(int vc, int count) {
+  VcIndex& ix = index_[static_cast<std::size_t>(vc)];
+  if (ix.gpn == 0) return 0;
+  auto& idle = ix.by_free[static_cast<std::size_t>(ix.gpn)];
   int slept = 0;
-  for (int ni : vc_nodes_[static_cast<std::size_t>(vc)]) {
-    if (slept == count) break;
-    Node& n = nodes_[static_cast<std::size_t>(ni)];
-    if (n.power == PowerState::kActive && !n.busy()) {
-      n.power = PowerState::kSleeping;
-      ++slept;
-    }
+  while (slept < count && !idle.empty()) {
+    sleep_node(idle.front());
+    ++slept;
   }
   return slept;
 }
 
 int ClusterState::idle_active_nodes_in_vc(int vc) const noexcept {
-  int c = 0;
-  for (int ni : vc_nodes_[static_cast<std::size_t>(vc)]) {
-    const Node& n = nodes_[static_cast<std::size_t>(ni)];
-    c += n.power == PowerState::kActive && !n.busy();
-  }
-  return c;
+  const VcIndex& ix = index_[static_cast<std::size_t>(vc)];
+  if (ix.gpn == 0) return 0;
+  return static_cast<int>(ix.by_free[static_cast<std::size_t>(ix.gpn)].size());
+}
+
+void ClusterState::wake_node(int ni, std::int64_t now, std::int64_t boot_delay) {
+  Node& n = nodes_[static_cast<std::size_t>(ni)];
+  VcIndex& ix = index_[static_cast<std::size_t>(n.vc)];
+  n.power = PowerState::kBooting;
+  n.boot_ready = now + boot_delay;
+  ix.sleeping.erase(ni);
+  ix.booting.insert(ni);
+  boot_queue_.emplace(n.boot_ready, ni);
+  --sleeping_count_;
 }
 
 int ClusterState::wake_nodes(int count, std::int64_t now, std::int64_t boot_delay) {
   int woken = 0;
-  for (auto& n : nodes_) {
-    if (woken == count) break;
-    if (n.power == PowerState::kSleeping) {
-      n.power = PowerState::kBooting;
-      n.boot_ready = now + boot_delay;
+  for (auto& ix : index_) {
+    while (woken < count && !ix.sleeping.empty()) {
+      wake_node(ix.sleeping.front(), now, boot_delay);
       ++woken;
     }
+    if (woken == count) break;
   }
   return woken;
 }
 
 int ClusterState::wake_nodes_in_vc(int vc, int count, std::int64_t now,
                                    std::int64_t boot_delay) {
+  VcIndex& ix = index_[static_cast<std::size_t>(vc)];
   int woken = 0;
-  for (int ni : vc_nodes_[static_cast<std::size_t>(vc)]) {
-    if (woken == count) break;
-    Node& n = nodes_[static_cast<std::size_t>(ni)];
-    if (n.power == PowerState::kSleeping) {
-      n.power = PowerState::kBooting;
-      n.boot_ready = now + boot_delay;
-      ++woken;
-    }
+  while (woken < count && !ix.sleeping.empty()) {
+    wake_node(ix.sleeping.front(), now, boot_delay);
+    ++woken;
   }
   return woken;
 }
 
 int ClusterState::booting_nodes_in_vc(int vc) const noexcept {
-  int c = 0;
-  for (int ni : vc_nodes_[static_cast<std::size_t>(vc)]) {
-    c += nodes_[static_cast<std::size_t>(ni)].power == PowerState::kBooting;
-  }
-  return c;
+  return static_cast<int>(index_[static_cast<std::size_t>(vc)].booting.size());
 }
 
 int ClusterState::sleeping_nodes_in_vc(int vc) const noexcept {
-  int c = 0;
-  for (int ni : vc_nodes_[static_cast<std::size_t>(vc)]) {
-    c += nodes_[static_cast<std::size_t>(ni)].power == PowerState::kSleeping;
-  }
-  return c;
+  return static_cast<int>(index_[static_cast<std::size_t>(vc)].sleeping.size());
 }
 
 void ClusterState::finish_boots(std::int64_t now) {
-  for (auto& n : nodes_) {
-    if (n.power == PowerState::kBooting && n.boot_ready <= now) {
-      n.power = PowerState::kActive;
-    }
+  while (!boot_queue_.empty() && boot_queue_.begin()->first <= now) {
+    const int ni = boot_queue_.begin()->second;
+    boot_queue_.erase(boot_queue_.begin());
+    Node& n = nodes_[static_cast<std::size_t>(ni)];
+    VcIndex& ix = index_[static_cast<std::size_t>(n.vc)];
+    n.power = PowerState::kActive;
+    ix.booting.erase(ni);
+    bucket_insert(n, ni);
+    ix.sched_total += n.total_gpus;
+    ix.sched_free += n.free_gpus;
   }
 }
 
 std::optional<std::int64_t> ClusterState::next_boot_ready() const noexcept {
-  std::optional<std::int64_t> next;
-  for (const auto& n : nodes_) {
-    if (n.power == PowerState::kBooting) {
-      next = next ? std::min(*next, n.boot_ready) : n.boot_ready;
-    }
-  }
-  return next;
+  if (boot_queue_.empty()) return std::nullopt;
+  return boot_queue_.begin()->first;
 }
 
 }  // namespace helios::sim

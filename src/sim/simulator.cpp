@@ -1,11 +1,12 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
-#include <cmath>
-#include <queue>
-#include <set>
+#include <functional>
+#include <utility>
 
-#include "stats/summary.h"
+#include "common/thread_pool.h"
+#include "sim/bucket_integrator.h"
+#include "sim/vc_simulator.h"
 
 namespace helios::sim {
 
@@ -26,348 +27,134 @@ std::string_view to_string(SchedulerPolicy p) noexcept {
   return "?";
 }
 
-namespace {
-
-/// Accumulates a piecewise-constant function's time integral into regular
-/// buckets; read back as per-bucket means.
-class BucketIntegrator {
- public:
-  BucketIntegrator(UnixTime begin, UnixTime end, std::int64_t step)
-      : begin_(begin), step_(step),
-        sums_(static_cast<std::size_t>(
-                  std::max<std::int64_t>(1, (end - begin + step - 1) / step)),
-              0.0) {}
-
-  void add(UnixTime t0, UnixTime t1, double value) {
-    if (value == 0.0 || t1 <= t0) return;
-    t0 = std::max(t0, begin_);
-    t1 = std::min<UnixTime>(t1, begin_ + static_cast<UnixTime>(sums_.size()) * step_);
-    if (t1 <= t0) return;
-    auto b = static_cast<std::size_t>((t0 - begin_) / step_);
-    const auto b_end = static_cast<std::size_t>((t1 - 1 - begin_) / step_);
-    for (; b <= b_end && b < sums_.size(); ++b) {
-      const UnixTime lo = begin_ + static_cast<UnixTime>(b) * step_;
-      const UnixTime hi = lo + step_;
-      sums_[b] += value * static_cast<double>(std::min(t1, hi) - std::max(t0, lo));
-    }
-  }
-
-  [[nodiscard]] forecast::TimeSeries mean_series() const {
-    forecast::TimeSeries s;
-    s.begin = begin_;
-    s.step = step_;
-    s.values.reserve(sums_.size());
-    for (double v : sums_) s.values.push_back(v / static_cast<double>(step_));
-    return s;
-  }
-
- private:
-  UnixTime begin_;
-  std::int64_t step_;
-  std::vector<double> sums_;
-};
-
-struct QueueKey {
-  double priority = 0.0;
-  UnixTime submit = 0;
-  std::size_t index = 0;  // trace job index: final deterministic tie-break
-
-  bool operator<(const QueueKey& o) const noexcept {
-    if (priority != o.priority) return priority < o.priority;
-    if (submit != o.submit) return submit < o.submit;
-    return index < o.index;
-  }
-};
-
-struct RunningJob {
-  std::size_t outcome = 0;  ///< index into outcomes
-  Allocation alloc;
-  std::int64_t run_start = 0;
-  std::int64_t remaining = 0;  ///< at run_start
-  std::uint64_t generation = 0;
-  int vc = -1;
-  bool active = false;
-};
-
-struct FinishEvent {
-  std::int64_t time = 0;
-  std::size_t slot = 0;
-  std::uint64_t generation = 0;
-
-  bool operator>(const FinishEvent& o) const noexcept { return time > o.time; }
-};
-
-}  // namespace
-
 ClusterSimulator::ClusterSimulator(trace::ClusterSpec spec, SimConfig config)
     : spec_(std::move(spec)), config_(std::move(config)) {}
 
 SimResult ClusterSimulator::run(const Trace& t) const {
   SimResult result;
-  ClusterState state(spec_);
+  const std::size_t n_vcs = spec_.vcs.size();
 
   // Map trace VC-interner ids -> cluster-spec VC indices.
   std::vector<int> vc_of_id(t.vcs().size(), -1);
-  for (int vi = 0; vi < static_cast<int>(spec_.vcs.size()); ++vi) {
+  for (int vi = 0; vi < static_cast<int>(n_vcs); ++vi) {
     const auto id = t.vcs().find(spec_.vcs[static_cast<std::size_t>(vi)].name);
     if (id != StringInterner::kNotFound) vc_of_id[id] = vi;
   }
 
-  // Collect GPU jobs (trace is sorted by submit time).
-  std::vector<std::size_t> gpu_jobs;
-  gpu_jobs.reserve(t.size());
+  // Collect GPU jobs (trace is sorted by submit time), pre-fill their
+  // outcomes in trace order, and route each to its VC shard. Jobs whose VC
+  // is not in the cluster spec are rejected immediately, exactly as the
+  // event loop used to do on arrival.
   UnixTime window_begin = 0;
   UnixTime window_end = 1;
+  std::vector<std::vector<std::size_t>> vc_arrivals(n_vcs);
+  result.outcomes.reserve(t.size());
   for (std::size_t i = 0; i < t.size(); ++i) {
     const JobRecord& j = t.jobs()[i];
     if (!j.is_gpu_job()) continue;
-    if (gpu_jobs.empty()) window_begin = j.submit_time;
+    if (result.outcomes.empty()) window_begin = j.submit_time;
     window_end = std::max<UnixTime>(window_end, j.submit_time + j.duration + 1);
-    gpu_jobs.push_back(i);
-  }
-  result.outcomes.reserve(gpu_jobs.size());
-
-  const bool srtf = config_.policy == SchedulerPolicy::kSrtf;
-  auto base_priority = [&](const JobRecord& j) -> double {
-    switch (config_.policy) {
-      case SchedulerPolicy::kFifo:
-        return 0.0;  // submit-time tie-break gives FIFO order
-      case SchedulerPolicy::kSjf:
-      case SchedulerPolicy::kSrtf:
-        return static_cast<double>(j.duration);
-      case SchedulerPolicy::kQssf:
-        return config_.priority_fn ? config_.priority_fn(j)
-                                   : static_cast<double>(j.duration) * j.num_gpus;
+    JobOutcome o;
+    o.trace_index = i;
+    o.submit = j.submit_time;
+    o.gpus = j.num_gpus;
+    o.vc = j.vc < vc_of_id.size() ? vc_of_id[j.vc] : -1;
+    const std::size_t oi = result.outcomes.size();
+    if (o.vc < 0) {
+      o.rejected = true;
+      o.start = o.submit;
+      o.end = o.submit;
+      ++result.rejected_jobs;
+    } else {
+      vc_arrivals[static_cast<std::size_t>(o.vc)].push_back(oi);
     }
-    return 0.0;
-  };
+    result.outcomes.push_back(o);
+  }
 
-  // Per-VC queues; entries reference outcome indices.
-  std::vector<std::set<QueueKey>> queues(spec_.vcs.size());
-  std::vector<std::size_t> outcome_of_index(t.size(), SIZE_MAX);
+  // One shard per VC with jobs; each owns its nodes, queue, and series
+  // accumulators, so shards share no mutable state and may run concurrently.
+  std::vector<VcSimulator> shards;
+  std::vector<std::size_t> shard_vc;
+  shards.reserve(n_vcs);
+  shard_vc.reserve(n_vcs);
+  for (std::size_t vi = 0; vi < n_vcs; ++vi) {
+    if (vc_arrivals[vi].empty()) continue;
+    shards.emplace_back(spec_, static_cast<int>(vi), config_, window_begin);
+    shard_vc.push_back(vi);
+  }
 
-  std::vector<RunningJob> runs;
-  std::priority_queue<FinishEvent, std::vector<FinishEvent>, std::greater<>> finishes;
-  // outcome index -> current queue key / run slot bookkeeping.
-  std::vector<double> job_priority;
-  std::vector<std::int64_t> job_remaining;
-  std::vector<std::size_t> run_slot;
+  std::vector<VcSimulator::Counters> counters(shards.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(shards.size());
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    tasks.push_back([&, s] {
+      counters[s] =
+          shards[s].run(t, vc_arrivals[shard_vc[s]], result.outcomes);
+    });
+  }
+  if (config_.execution == SimExecution::kSerial) {
+    for (auto& task : tasks) task();
+  } else {
+    parallel_run_tasks(std::move(tasks));
+  }
 
+  // Deterministic merge in VC order. Every segment term is an exact integer
+  // product of a count and a duration (see BucketIntegrator), so the merged
+  // series equals a serial accumulation bit-for-bit.
   BucketIntegrator nodes_acc(window_begin, window_end, config_.series_step);
   BucketIntegrator gpus_acc(window_begin, window_end, config_.series_step);
-  std::int64_t last_change = window_begin;
-
-  auto account = [&](std::int64_t now) {
-    if (now > last_change) {
-      nodes_acc.add(last_change, now, state.busy_nodes());
-      gpus_acc.add(last_change, now, state.busy_gpus());
-      last_change = now;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    for (const BusySegment& seg : shards[s].segments()) {
+      nodes_acc.add(seg.t0, seg.t1, seg.nodes);
+      gpus_acc.add(seg.t0, seg.t1, seg.gpus);
     }
-  };
-
-  auto start_job = [&](std::size_t oi, int vc, const Allocation& alloc,
-                       std::int64_t now) {
-    JobOutcome& o = result.outcomes[oi];
-    if (o.start == trace::kNeverStarted) o.start = now;
-    RunningJob r;
-    r.outcome = oi;
-    r.alloc = alloc;
-    r.run_start = now;
-    r.remaining = job_remaining[oi];
-    r.vc = vc;
-    r.active = true;
-    std::size_t slot;
-    if (run_slot[oi] != SIZE_MAX && !runs[run_slot[oi]].active) {
-      slot = run_slot[oi];
-      r.generation = runs[slot].generation + 1;
-      runs[slot] = r;
-    } else {
-      slot = runs.size();
-      runs.push_back(r);
-    }
-    run_slot[oi] = slot;
-    finishes.push({now + r.remaining, slot, runs[slot].generation});
-  };
-
-  // Schedules VC `vc` at time `now`: strict head-of-line by priority
-  // (Algorithm 1: stop at the first job that does not fit; no backfill).
-  auto schedule_vc = [&](int vc, std::int64_t now) {
-    auto& q = queues[static_cast<std::size_t>(vc)];
-    while (!q.empty()) {
-      const QueueKey head = *q.begin();
-      const std::size_t oi = outcome_of_index[head.index];
-      JobOutcome& o = result.outcomes[oi];
-      if (!state.can_ever_fit(vc, o.gpus)) {
-        o.rejected = true;
-        o.start = o.submit;
-        o.end = o.submit;
-        ++result.rejected_jobs;
-        q.erase(q.begin());
-        continue;
-      }
-      auto alloc = state.try_allocate(vc, o.gpus);
-      if (!alloc && srtf) {
-        // Preempt running jobs with strictly larger remaining time, largest
-        // first, until the head fits; roll back if it never does.
-        const std::int64_t head_rem = job_remaining[oi];
-        std::vector<std::size_t> candidates;
-        for (std::size_t s = 0; s < runs.size(); ++s) {
-          if (!runs[s].active || runs[s].vc != vc) continue;
-          const std::int64_t rem =
-              runs[s].remaining - (now - runs[s].run_start);
-          if (rem > head_rem) candidates.push_back(s);
-        }
-        std::sort(candidates.begin(), candidates.end(),
-                  [&](std::size_t a, std::size_t b) {
-                    const std::int64_t ra = runs[a].remaining - (now - runs[a].run_start);
-                    const std::int64_t rb = runs[b].remaining - (now - runs[b].run_start);
-                    return ra > rb;
-                  });
-        std::vector<std::size_t> freed;
-        for (std::size_t s : candidates) {
-          state.release(runs[s].alloc);
-          freed.push_back(s);
-          alloc = state.try_allocate(vc, o.gpus);
-          if (alloc) break;
-        }
-        if (alloc) {
-          for (std::size_t s : freed) {
-            RunningJob& r = runs[s];
-            r.active = false;
-            ++r.generation;  // invalidates the pending finish event
-            const std::size_t poi = r.outcome;
-            job_remaining[poi] =
-                std::max<std::int64_t>(1, r.remaining - (now - r.run_start));
-            job_priority[poi] = static_cast<double>(job_remaining[poi]);
-            q.insert({job_priority[poi], result.outcomes[poi].submit,
-                      result.outcomes[poi].trace_index});
-            ++result.preemptions;
-          }
-        } else {
-          for (auto it = freed.rbegin(); it != freed.rend(); ++it) {
-            state.reclaim(runs[*it].alloc);
-          }
-        }
-      }
-      if (!alloc) {
-        if (config_.backfill) {
-          // Greedy backfill: start any later queued job that fits right now.
-          std::vector<QueueKey> placed;
-          int scanned = 0;
-          for (auto it = std::next(q.begin());
-               it != q.end() && scanned < config_.backfill_depth;
-               ++it, ++scanned) {
-            const std::size_t boi = outcome_of_index[it->index];
-            JobOutcome& bo = result.outcomes[boi];
-            auto balloc = state.try_allocate(vc, bo.gpus);
-            if (!balloc) continue;
-            start_job(boi, vc, *balloc, now);
-            placed.push_back(*it);
-          }
-          for (const auto& key : placed) q.erase(key);
-        }
-        break;
-      }
-      q.erase(q.begin());
-      start_job(oi, vc, *alloc, now);
-    }
-  };
-
-  std::size_t next_arrival = 0;
-  while (next_arrival < gpu_jobs.size() || !finishes.empty()) {
-    // Next event time: finishes first at equal times (free before place).
-    std::int64_t now;
-    const bool have_arrival = next_arrival < gpu_jobs.size();
-    const std::int64_t arrival_time =
-        have_arrival ? t.jobs()[gpu_jobs[next_arrival]].submit_time
-                     : std::numeric_limits<std::int64_t>::max();
-    // Drain stale finish events.
-    while (!finishes.empty()) {
-      const FinishEvent& f = finishes.top();
-      if (runs[f.slot].active && runs[f.slot].generation == f.generation) break;
-      finishes.pop();
-    }
-    const std::int64_t finish_time =
-        finishes.empty() ? std::numeric_limits<std::int64_t>::max()
-                         : finishes.top().time;
-    now = std::min(arrival_time, finish_time);
-    if (now == std::numeric_limits<std::int64_t>::max()) break;
-    account(now);
-
-    std::vector<int> dirty;
-    // 1) completions at `now`.
-    while (!finishes.empty() && finishes.top().time <= now) {
-      const FinishEvent f = finishes.top();
-      finishes.pop();
-      RunningJob& r = runs[f.slot];
-      if (!r.active || r.generation != f.generation) continue;
-      r.active = false;
-      ++r.generation;
-      state.release(r.alloc);
-      result.outcomes[r.outcome].end = now;
-      dirty.push_back(r.vc);
-    }
-    // 2) arrivals at `now`.
-    while (next_arrival < gpu_jobs.size() &&
-           t.jobs()[gpu_jobs[next_arrival]].submit_time <= now) {
-      const std::size_t idx = gpu_jobs[next_arrival];
-      const JobRecord& j = t.jobs()[idx];
-      ++next_arrival;
-      JobOutcome o;
-      o.trace_index = idx;
-      o.submit = j.submit_time;
-      o.gpus = j.num_gpus;
-      o.vc = j.vc < vc_of_id.size() ? vc_of_id[j.vc] : -1;
-      const std::size_t oi = result.outcomes.size();
-      result.outcomes.push_back(o);
-      outcome_of_index[idx] = oi;
-      job_priority.push_back(base_priority(j));
-      job_remaining.push_back(std::max<std::int32_t>(1, j.duration));
-      run_slot.push_back(SIZE_MAX);
-      if (o.vc < 0) {
-        result.outcomes[oi].rejected = true;
-        result.outcomes[oi].start = o.submit;
-        result.outcomes[oi].end = o.submit;
-        ++result.rejected_jobs;
-        continue;
-      }
-      queues[static_cast<std::size_t>(o.vc)].insert(
-          {job_priority[oi], o.submit, idx});
-      dirty.push_back(o.vc);
-    }
-    // 3) scheduling passes.
-    std::sort(dirty.begin(), dirty.end());
-    dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
-    for (int vc : dirty) schedule_vc(vc, now);
+    result.preemptions += counters[s].preemptions;
+    result.rejected_jobs += counters[s].rejected;
   }
-  account(window_end);
-
-  // ---- metrics ----------------------------------------------------------
   result.busy_nodes = nodes_acc.mean_series();
   result.busy_gpus = gpus_acc.mean_series();
 
-  stats::RunningStats jct;
-  stats::RunningStats delay;
-  std::vector<stats::RunningStats> vc_delay(spec_.vcs.size());
-  std::vector<stats::RunningStats> vc_jct(spec_.vcs.size());
+  // ---- metrics ----------------------------------------------------------
+  // Only means and counts are reported; plain integer sums are exact (JCTs
+  // and delays are whole seconds) and avoid a streaming-moments division per
+  // job.
+  struct MeanAcc {
+    std::int64_t sum = 0;
+    std::int64_t count = 0;
+    [[nodiscard]] double mean() const noexcept {
+      return count > 0
+                 ? static_cast<double>(sum) / static_cast<double>(count)
+                 : 0.0;
+    }
+  };
+  MeanAcc jct;
+  MeanAcc delay;
+  std::vector<MeanAcc> vc_delay(n_vcs);
+  std::vector<MeanAcc> vc_jct(n_vcs);
   for (const auto& o : result.outcomes) {
     if (o.rejected || o.start == trace::kNeverStarted) continue;
-    jct.add(static_cast<double>(o.jct()));
-    delay.add(static_cast<double>(o.queue_delay()));
+    jct.sum += o.jct();
+    ++jct.count;
+    delay.sum += o.queue_delay();
+    ++delay.count;
     if (o.queue_delay() >= config_.queued_threshold) ++result.queued_jobs;
     if (o.vc >= 0) {
-      vc_delay[static_cast<std::size_t>(o.vc)].add(static_cast<double>(o.queue_delay()));
-      vc_jct[static_cast<std::size_t>(o.vc)].add(static_cast<double>(o.jct()));
+      auto& vd = vc_delay[static_cast<std::size_t>(o.vc)];
+      auto& vj = vc_jct[static_cast<std::size_t>(o.vc)];
+      vd.sum += o.queue_delay();
+      ++vd.count;
+      vj.sum += o.jct();
+      ++vj.count;
     }
   }
   result.avg_jct = jct.mean();
   result.avg_queue_delay = delay.mean();
-  result.vc_stats.reserve(spec_.vcs.size());
-  for (std::size_t vi = 0; vi < spec_.vcs.size(); ++vi) {
+  result.vc_stats.reserve(n_vcs);
+  for (std::size_t vi = 0; vi < n_vcs; ++vi) {
     VCStat s;
     s.name = spec_.vcs[vi].name;
     s.gpus = spec_.vcs[vi].total_gpus();
-    s.jobs = vc_delay[vi].count();
+    s.jobs = vc_jct[vi].count;
     s.avg_queue_delay = vc_delay[vi].mean();
     s.avg_jct = vc_jct[vi].mean();
     result.vc_stats.push_back(std::move(s));

@@ -1,0 +1,609 @@
+#include "sim/vc_simulator.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <queue>
+#include <set>
+
+namespace helios::sim {
+
+using trace::JobRecord;
+using trace::Trace;
+
+namespace {
+
+/// Policy-queue ordering: priority, then submit time, then shard-local id as
+/// the final deterministic tie-break. Local ids are assigned in trace order,
+/// so the local-id tie-break is exactly the trace-index tie-break the
+/// cluster-wide loop used.
+struct QueueKey {
+  double priority = 0.0;
+  UnixTime submit = 0;
+  std::size_t local = 0;  ///< position in this shard's arrivals
+
+  bool operator<(const QueueKey& o) const noexcept {
+    if (priority != o.priority) return priority < o.priority;
+    if (submit != o.submit) return submit < o.submit;
+    return local < o.local;
+  }
+};
+
+/// Dense shard-local copy of the per-job fields the event loop touches, so
+/// the hot path never chases outcomes[arrivals[lj]] through two indirections
+/// into the (globally interleaved) outcomes array.
+struct LocalJob {
+  UnixTime submit = 0;
+  std::int64_t remaining = 0;  ///< seconds left to run (updates on preempt)
+  std::size_t trace_index = 0;
+  std::int32_t gpus = 0;
+  double priority = 0.0;
+};
+
+struct RunningJob {
+  std::size_t local = 0;  ///< arrivals position of the job
+  Allocation alloc;
+  std::int64_t run_start = 0;
+  std::int64_t remaining = 0;  ///< at run_start
+  std::uint64_t generation = 0;
+  bool active = false;
+};
+
+struct FinishEvent {
+  std::int64_t time = 0;
+  std::size_t slot = 0;
+  std::uint64_t generation = 0;
+
+  bool operator>(const FinishEvent& o) const noexcept { return time > o.time; }
+};
+
+/// Two-level bitmap over a fixed total order: bit p set <=> the job at
+/// sorted position p is queued. set/clear are O(1); first() and in-order
+/// iteration use count-trailing-zeros over at most n/4096 summary words.
+class OrderedBitmap {
+ public:
+  void reserve(std::size_t n) {
+    const std::size_t words = (n + 63) / 64;
+    bits_.assign(words, 0);
+    summary_.assign((words + 63) / 64, 0);
+  }
+
+  void set(std::size_t p) {
+    bits_[p >> 6] |= std::uint64_t{1} << (p & 63);
+    summary_[p >> 12] |= std::uint64_t{1} << ((p >> 6) & 63);
+  }
+
+  void clear(std::size_t p) {
+    const std::size_t w = p >> 6;
+    bits_[w] &= ~(std::uint64_t{1} << (p & 63));
+    if (bits_[w] == 0) summary_[w >> 6] &= ~(std::uint64_t{1} << (w & 63));
+  }
+
+  /// Lowest set position; call only when at least one bit is set.
+  [[nodiscard]] std::size_t first() const noexcept {
+    std::size_t sw = 0;
+    while (summary_[sw] == 0) ++sw;
+    const std::size_t w =
+        (sw << 6) + static_cast<std::size_t>(std::countr_zero(summary_[sw]));
+    return (w << 6) + static_cast<std::size_t>(std::countr_zero(bits_[w]));
+  }
+
+  /// Lowest set position strictly greater than `p`, or SIZE_MAX.
+  [[nodiscard]] std::size_t next_after(std::size_t p) const noexcept {
+    std::size_t w = p >> 6;
+    const std::uint64_t rest = bits_[w] >> (p & 63) >> 1;
+    if (rest != 0) {
+      return p + 1 + static_cast<std::size_t>(std::countr_zero(rest));
+    }
+    for (std::size_t sw = w >> 6; sw < summary_.size(); ++sw) {
+      std::uint64_t s = summary_[sw];
+      if (sw == (w >> 6)) {
+        // Only summary bits for words strictly greater than w.
+        const std::size_t k = w & 63;
+        s = k == 63 ? 0 : s & (~std::uint64_t{0} << (k + 1));
+      }
+      if (s == 0) continue;
+      const std::size_t nw =
+          (sw << 6) + static_cast<std::size_t>(std::countr_zero(s));
+      return (nw << 6) + static_cast<std::size_t>(std::countr_zero(bits_[nw]));
+    }
+    return SIZE_MAX;
+  }
+
+ private:
+  std::vector<std::uint64_t> bits_;
+  std::vector<std::uint64_t> summary_;
+};
+
+/// Head-of-line queue over shard-local job ids, with a backend chosen by
+/// what the policy actually needs:
+///  * kBitmap — FIFO never reorders (arrival order IS priority order) and
+///    never re-inserts, so the live queue is an OrderedBitmap over local
+///    ids: O(1) push/remove, O(1)-ish head, in-order scans for backfill.
+///    (Presorting the other policies' static priorities to reuse the bitmap
+///    measured slower than a heap — the per-run O(n log n) sort costs more
+///    than the heap ops it replaces.)
+///  * kHeap — the ordered policies without backfill only ever pop the head
+///    or re-push with a new priority (SRTF preemption), so a binary heap
+///    with versioned lazy deletion beats a red-black tree.
+///  * kSet — backfill under an ordered policy needs ordered traversal
+///    behind the head, which only the set supports.
+class PolicyQueue {
+ public:
+  PolicyQueue(SchedulerPolicy policy, bool backfill)
+      : backend_(policy == SchedulerPolicy::kFifo
+                     ? Backend::kBitmap
+                     : (backfill ? Backend::kSet : Backend::kHeap)) {}
+
+  void init(std::size_t n) {
+    queued_.assign(n, false);
+    switch (backend_) {
+      case Backend::kBitmap:
+        bitmap_.reserve(n);
+        break;
+      case Backend::kHeap:
+        version_.assign(n, 0);
+        keys_.resize(n);
+        break;
+      case Backend::kSet:
+        keys_.resize(n);
+        break;
+    }
+  }
+
+  void push(const QueueKey& key) {
+    queued_[key.local] = true;
+    ++live_;
+    switch (backend_) {
+      case Backend::kBitmap:
+        bitmap_.set(key.local);
+        break;
+      case Backend::kHeap: {
+        keys_[key.local] = key;
+        HeapEntry e;
+        e.key = key;
+        e.version = version_[key.local];
+        heap_.push_back(e);
+        std::push_heap(heap_.begin(), heap_.end(), HeapGreater{});
+        break;
+      }
+      case Backend::kSet:
+        keys_[key.local] = key;
+        set_.insert(key);
+        break;
+    }
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+
+  /// Local id of the highest-priority queued job; call only when !empty().
+  [[nodiscard]] std::size_t head() {
+    switch (backend_) {
+      case Backend::kBitmap:
+        return bitmap_.first();
+      case Backend::kHeap:
+        while (!queued_[heap_.front().key.local] ||
+               heap_.front().version != version_[heap_.front().key.local]) {
+          std::pop_heap(heap_.begin(), heap_.end(), HeapGreater{});
+          heap_.pop_back();
+        }
+        return heap_.front().key.local;
+      case Backend::kSet:
+        return set_.begin()->local;
+    }
+    return 0;  // unreachable
+  }
+
+  /// Does queued job `a` outrank queued job `b`?
+  [[nodiscard]] bool before(std::size_t a, std::size_t b) const noexcept {
+    if (backend_ == Backend::kBitmap) {
+      return a < b;  // FIFO: local id order is arrival order
+    }
+    return keys_[a] < keys_[b];
+  }
+
+  void remove(std::size_t local) {
+    queued_[local] = false;
+    --live_;
+    switch (backend_) {
+      case Backend::kBitmap:
+        bitmap_.clear(local);
+        break;
+      case Backend::kHeap:
+        ++version_[local];  // lazy: head() drops stale entries
+        break;
+      case Backend::kSet:
+        set_.erase(keys_[local]);
+        break;
+    }
+  }
+
+  /// Visits queued jobs after the head in priority order until `fn` returns
+  /// false. `fn` may remove() the visited entry (and only that entry). Only
+  /// the backfill pass scans, so the heap backend never reaches this.
+  template <typename Fn>
+  void scan_behind_head(Fn&& fn) {
+    if (backend_ == Backend::kBitmap) {
+      for (std::size_t p = bitmap_.next_after(bitmap_.first());
+           p != SIZE_MAX; p = bitmap_.next_after(p)) {
+        if (!fn(p)) return;
+      }
+    } else {
+      for (auto it = std::next(set_.begin()); it != set_.end();) {
+        const std::size_t lj = it->local;
+        ++it;  // advance first: fn may erase the visited entry
+        if (!fn(lj)) return;
+      }
+    }
+  }
+
+ private:
+  enum class Backend { kBitmap, kHeap, kSet };
+
+  struct HeapEntry {
+    QueueKey key;
+    std::uint32_t version = 0;
+  };
+  struct HeapGreater {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
+      return b.key < a.key;  // min-heap on the full (unique) key
+    }
+  };
+
+  Backend backend_;
+  std::size_t live_ = 0;
+  std::vector<char> queued_;
+  OrderedBitmap bitmap_;
+  std::vector<HeapEntry> heap_;
+  std::vector<std::uint32_t> version_;  ///< bumped per remove (kHeap)
+  std::set<QueueKey> set_;
+  std::vector<QueueKey> keys_;  ///< last pushed key per local id (kSet/kHeap)
+};
+
+/// Multiset of queued GPU demands on a counting array: O(1) insert, O(1)
+/// amortized erase with a lazily advanced minimum. Demands above the VC
+/// capacity share the top bucket (they reject at the head anyway and must
+/// never look smaller than a real demand).
+class DemandTracker {
+ public:
+  void init(int capacity) {
+    counts_.assign(static_cast<std::size_t>(capacity) + 2, 0);
+    min_ = static_cast<int>(counts_.size()) - 1;
+    size_ = 0;
+  }
+
+  void insert(int g) {
+    g = clamp(g);
+    ++counts_[static_cast<std::size_t>(g)];
+    ++size_;
+    min_ = std::min(min_, g);
+  }
+
+  void erase(int g) {
+    g = clamp(g);
+    --counts_[static_cast<std::size_t>(g)];
+    --size_;
+    if (size_ == 0) {
+      min_ = static_cast<int>(counts_.size()) - 1;
+      return;
+    }
+    while (counts_[static_cast<std::size_t>(min_)] == 0) ++min_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  /// Smallest queued demand; call only when !empty().
+  [[nodiscard]] int min() const noexcept { return min_; }
+
+ private:
+  [[nodiscard]] int clamp(int g) const noexcept {
+    return std::min(g, static_cast<int>(counts_.size()) - 1);
+  }
+
+  std::vector<std::int32_t> counts_;
+  int min_ = 0;
+  std::size_t size_ = 0;
+};
+
+trace::ClusterSpec single_vc_spec(const trace::ClusterSpec& spec, int vc) {
+  const auto& vcspec = spec.vcs[static_cast<std::size_t>(vc)];
+  trace::ClusterSpec sub;
+  sub.name = spec.name;
+  sub.nodes = vcspec.nodes;
+  sub.gpus_per_node = vcspec.gpus_per_node;
+  sub.cpus_per_node = spec.cpus_per_node;
+  sub.vcs = {vcspec};
+  return sub;
+}
+
+}  // namespace
+
+VcSimulator::VcSimulator(const trace::ClusterSpec& spec, int vc,
+                         const SimConfig& config, UnixTime window_begin)
+    : config_(&config),
+      window_begin_(window_begin),
+      state_(single_vc_spec(spec, vc)) {}
+
+VcSimulator::Counters VcSimulator::run(const Trace& t,
+                                       const std::vector<std::size_t>& arrivals,
+                                       std::vector<JobOutcome>& outcomes) {
+  Counters counters;
+  const bool srtf = config_->policy == SchedulerPolicy::kSrtf;
+  const bool fifo = config_->policy == SchedulerPolicy::kFifo;
+  const std::size_t n = arrivals.size();
+
+  auto base_priority = [&](const JobRecord& j) -> double {
+    switch (config_->policy) {
+      case SchedulerPolicy::kFifo:
+        return 0.0;  // submit-time tie-break gives FIFO order
+      case SchedulerPolicy::kSjf:
+      case SchedulerPolicy::kSrtf:
+        return static_cast<double>(j.duration);
+      case SchedulerPolicy::kQssf:
+        return config_->priority_fn ? config_->priority_fn(j)
+                                    : static_cast<double>(j.duration) * j.num_gpus;
+    }
+    return 0.0;
+  };
+
+  // Dense local copies of the fields the loop touches per event.
+  std::vector<LocalJob> jobs(n);
+  for (std::size_t lj = 0; lj < n; ++lj) {
+    const JobOutcome& o = outcomes[arrivals[lj]];
+    const JobRecord& j = t.jobs()[o.trace_index];
+    LocalJob& job = jobs[lj];
+    job.submit = o.submit;
+    job.remaining = std::max<std::int32_t>(1, j.duration);
+    job.trace_index = o.trace_index;
+    job.gpus = o.gpus;
+    job.priority = base_priority(j);
+  }
+  std::vector<std::size_t> run_slot(n, SIZE_MAX);
+
+  PolicyQueue queue(config_->policy, config_->backfill);
+  queue.init(n);
+  // GPU demands of every queued job; min() lets a backfill pass bail out
+  // O(1) when nothing queued can possibly fit.
+  DemandTracker queued_gpus;
+  queued_gpus.init(state_.capacity_gpus(0));
+  std::vector<RunningJob> runs;
+  runs.reserve(n);  // at most one slot per job; growth would copy Allocations
+  std::priority_queue<FinishEvent, std::vector<FinishEvent>, std::greater<>>
+      finishes(std::greater<>{}, [n] {
+        std::vector<FinishEvent> v;
+        v.reserve(n + 1);
+        return v;
+      }());
+  // Active-run list (swap-remove): SRTF preemption scans only live runs, not
+  // every slot ever created.
+  std::vector<std::size_t> active_slots;
+  std::vector<std::size_t> active_pos;  // per-slot position, SIZE_MAX if idle
+  active_pos.reserve(n);
+
+  // Busy accounting: coalesce events that leave the busy counters unchanged
+  // into one segment; flushed whenever the counts move.
+  segments_.reserve(2 * n + 2);
+  std::int64_t seg_start = window_begin_;
+  std::int32_t seg_nodes = 0;
+  std::int32_t seg_gpus = 0;
+  auto flush_segment = [&](std::int64_t now) {
+    const auto bn = static_cast<std::int32_t>(state_.busy_nodes());
+    const auto bg = static_cast<std::int32_t>(state_.busy_gpus());
+    if (bn == seg_nodes && bg == seg_gpus) return;
+    if (now > seg_start && (seg_nodes != 0 || seg_gpus != 0)) {
+      segments_.push_back({seg_start, now, seg_nodes, seg_gpus});
+    }
+    seg_start = now;
+    seg_nodes = bn;
+    seg_gpus = bg;
+  };
+
+  auto deactivate = [&](std::size_t slot) {
+    const std::size_t pos = active_pos[slot];
+    const std::size_t back = active_slots.back();
+    active_slots[pos] = back;
+    active_pos[back] = pos;
+    active_slots.pop_back();
+    active_pos[slot] = SIZE_MAX;
+  };
+
+  auto enqueue = [&](std::size_t lj) {
+    const LocalJob& job = jobs[lj];
+    queue.push({job.priority, job.submit, lj});
+    queued_gpus.insert(job.gpus);
+  };
+  auto dequeue = [&](std::size_t lj) {
+    queue.remove(lj);
+    queued_gpus.erase(jobs[lj].gpus);
+  };
+
+  auto start_job = [&](std::size_t lj, Allocation alloc, std::int64_t now) {
+    JobOutcome& o = outcomes[arrivals[lj]];
+    if (o.start == trace::kNeverStarted) o.start = now;
+    RunningJob r;
+    r.local = lj;
+    r.alloc = std::move(alloc);
+    r.run_start = now;
+    r.remaining = jobs[lj].remaining;
+    r.active = true;
+    std::size_t slot;
+    if (run_slot[lj] != SIZE_MAX && !runs[run_slot[lj]].active) {
+      slot = run_slot[lj];
+      r.generation = runs[slot].generation + 1;
+      runs[slot] = std::move(r);
+    } else {
+      slot = runs.size();
+      runs.push_back(std::move(r));
+      active_pos.push_back(SIZE_MAX);
+    }
+    run_slot[lj] = slot;
+    active_pos[slot] = active_slots.size();
+    active_slots.push_back(slot);
+    finishes.push({now + runs[slot].remaining, slot, runs[slot].generation});
+  };
+
+  // Blocked-head memo: after a scheduling pass ends with an unplaceable
+  // head, re-running it is provably a no-op until either the state changes
+  // (a completion, preemption, or start frees/claims GPUs) or a new job
+  // outranks the blocked head. Arrivals that merely grow the queue behind a
+  // blocked head skip the pass entirely — under FIFO that is every arrival
+  // while the head waits. (For SRTF, note remaining times of running jobs
+  // only shrink as time advances, so the preemptable set never grows while
+  // the state is untouched; a retry cannot succeed where the original
+  // attempt failed.)
+  bool head_blocked = false;
+  std::size_t blocked_local = 0;
+
+  // Schedules the VC at time `now`: strict head-of-line by priority
+  // (Algorithm 1: stop at the first job that does not fit; no backfill).
+  auto schedule = [&](std::int64_t now) {
+    head_blocked = false;
+    while (!queue.empty()) {
+      const std::size_t lj = queue.head();
+      const LocalJob& job = jobs[lj];
+      if (!state_.can_ever_fit(0, job.gpus)) {
+        JobOutcome& o = outcomes[arrivals[lj]];
+        o.rejected = true;
+        o.start = o.submit;
+        o.end = o.submit;
+        ++counters.rejected;
+        dequeue(lj);
+        continue;
+      }
+      auto alloc = state_.try_allocate(0, job.gpus);
+      if (!alloc && srtf) {
+        // Preempt running jobs with strictly larger remaining time, largest
+        // first, until the head fits; roll back if it never does.
+        const std::int64_t head_rem = job.remaining;
+        std::vector<std::size_t> candidates;
+        for (std::size_t s : active_slots) {
+          const std::int64_t rem =
+              runs[s].remaining - (now - runs[s].run_start);
+          if (rem > head_rem) candidates.push_back(s);
+        }
+        std::sort(candidates.begin(), candidates.end(),
+                  [&](std::size_t a, std::size_t b) {
+                    const std::int64_t ra = runs[a].remaining - (now - runs[a].run_start);
+                    const std::int64_t rb = runs[b].remaining - (now - runs[b].run_start);
+                    if (ra != rb) return ra > rb;
+                    return a < b;  // deterministic tie-break
+                  });
+        std::vector<std::size_t> freed;
+        for (std::size_t s : candidates) {
+          state_.release(runs[s].alloc);
+          freed.push_back(s);
+          alloc = state_.try_allocate(0, job.gpus);
+          if (alloc) break;
+        }
+        if (alloc) {
+          for (std::size_t s : freed) {
+            RunningJob& r = runs[s];
+            r.active = false;
+            ++r.generation;  // invalidates the pending finish event
+            deactivate(s);
+            const std::size_t plj = r.local;
+            jobs[plj].remaining =
+                std::max<std::int64_t>(1, r.remaining - (now - r.run_start));
+            jobs[plj].priority = static_cast<double>(jobs[plj].remaining);
+            enqueue(plj);
+            ++counters.preemptions;
+          }
+        } else {
+          for (auto it = freed.rbegin(); it != freed.rend(); ++it) {
+            state_.reclaim(runs[*it].alloc);
+          }
+        }
+      }
+      if (!alloc) {
+        if (config_->backfill && !queued_gpus.empty() &&
+            queued_gpus.min() <= state_.free_gpus(0)) {
+          // Greedy backfill: start any later queued job that fits right now.
+          int scanned = 0;
+          queue.scan_behind_head([&](std::size_t blj) {
+            if (scanned >= config_->backfill_depth) return false;
+            ++scanned;
+            auto balloc = state_.try_allocate(0, jobs[blj].gpus);
+            if (balloc) {
+              start_job(blj, std::move(*balloc), now);
+              dequeue(blj);
+              // Placements shrink the free pool; bail once nothing left fits.
+              if (queued_gpus.empty() ||
+                  queued_gpus.min() > state_.free_gpus(0)) {
+                return false;
+              }
+            }
+            return true;
+          });
+        }
+        head_blocked = true;
+        blocked_local = lj;
+        break;
+      }
+      dequeue(lj);
+      start_job(lj, std::move(*alloc), now);
+    }
+  };
+
+  std::size_t next_arrival = 0;
+  while (next_arrival < n || !finishes.empty()) {
+    // Next event time: finishes first at equal times (free before place).
+    const std::int64_t arrival_time =
+        next_arrival < n ? jobs[next_arrival].submit
+                         : std::numeric_limits<std::int64_t>::max();
+    // Drain stale finish events.
+    while (!finishes.empty()) {
+      const FinishEvent& f = finishes.top();
+      if (runs[f.slot].active && runs[f.slot].generation == f.generation) break;
+      finishes.pop();
+    }
+    const std::int64_t finish_time =
+        finishes.empty() ? std::numeric_limits<std::int64_t>::max()
+                         : finishes.top().time;
+    const std::int64_t now = std::min(arrival_time, finish_time);
+    if (now == std::numeric_limits<std::int64_t>::max()) break;
+
+    bool need_schedule = false;
+    // 1) completions at `now`.
+    while (!finishes.empty() && finishes.top().time <= now) {
+      const FinishEvent f = finishes.top();
+      finishes.pop();
+      RunningJob& r = runs[f.slot];
+      if (!r.active || r.generation != f.generation) continue;
+      r.active = false;
+      ++r.generation;
+      deactivate(f.slot);
+      state_.release(r.alloc);
+      outcomes[arrivals[r.local]].end = now;
+      need_schedule = true;  // freed GPUs invalidate the blocked-head memo
+    }
+    // 2) arrivals at `now`.
+    while (next_arrival < n && jobs[next_arrival].submit <= now) {
+      const std::size_t lj = next_arrival;
+      ++next_arrival;
+      enqueue(lj);
+      if (!need_schedule && head_blocked) {
+        // Queue growth behind a blocked head: schedule only if this job
+        // outranks the head (FIFO arrivals never do) or backfill could
+        // place it on the leftover GPUs.
+        const bool outranks = !fifo && queue.before(lj, blocked_local);
+        const bool backfillable =
+            config_->backfill && jobs[lj].gpus <= state_.free_gpus(0);
+        if (outranks || backfillable) need_schedule = true;
+      } else {
+        need_schedule = true;
+      }
+    }
+    // 3) scheduling pass, then extend or flush the busy segment.
+    if (need_schedule) schedule(now);
+    flush_segment(now);
+  }
+  // Close the trailing segment (busy counts are zero once every started job
+  // has finished, so this only fires for pathological inputs).
+  if (seg_nodes != 0 || seg_gpus != 0) {
+    segments_.push_back(
+        {seg_start, std::numeric_limits<std::int64_t>::max(), seg_nodes,
+         seg_gpus});
+  }
+  return counters;
+}
+
+}  // namespace helios::sim

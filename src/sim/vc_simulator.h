@@ -1,0 +1,78 @@
+// Single-VC discrete-event scheduling loop, extracted from ClusterSimulator.
+//
+// VCs are dedicated, non-shared node partitions (§2.1): a VC's queue,
+// placement, and completion events never interact with another VC's. That
+// makes the cluster-wide event loop embarrassingly parallel across VCs —
+// ClusterSimulator builds one VcSimulator per VC, runs them concurrently on
+// the shared thread pool, and merges per-VC outcomes, counters, and busy
+// series deterministically (in VC order; the series terms are exact integer
+// products, so the merged series is bit-identical to a serial accumulation).
+//
+// Each shard owns a single-VC ClusterState over the VC's nodes, the policy
+// queue, and run slots:
+//  * a per-VC active-run list lets SRTF preemption scan only the jobs
+//    currently running instead of every run slot ever created;
+//  * FIFO never reorders, so its queue is a deque with tombstones instead of
+//    an ordered set;
+//  * backfill passes keep the minimum queued GPU demand in a multiset and
+//    skip the scan entirely when even the smallest queued job exceeds the
+//    VC's free GPUs;
+//  * busy-node/GPU accounting coalesces runs of events that leave the busy
+//    counters unchanged into one BusySegment, so the series costs O(busy
+//    changes), not O(events x buckets).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cluster_state.h"
+#include "sim/simulator.h"
+
+namespace helios::sim {
+
+/// A maximal interval over which a VC's busy-node/GPU counts are constant.
+/// Shards log these; the orchestrator integrates them into the cluster-wide
+/// series after the parallel phase (intervals may overhang the bucket
+/// window; the integrator clamps).
+struct BusySegment {
+  std::int64_t t0 = 0;
+  std::int64_t t1 = 0;
+  std::int32_t nodes = 0;
+  std::int32_t gpus = 0;
+};
+
+class VcSimulator {
+ public:
+  /// Aggregates merged into SimResult by the orchestrator.
+  struct Counters {
+    std::int64_t preemptions = 0;
+    std::int64_t rejected = 0;
+  };
+
+  /// `vc` is the cluster-spec VC index; the shard models only that VC's
+  /// nodes. `window_begin` is where busy accounting starts (the cluster-wide
+  /// series origin); `config` must be shared across shards.
+  VcSimulator(const trace::ClusterSpec& spec, int vc, const SimConfig& config,
+              UnixTime window_begin);
+
+  /// Simulate this VC's jobs. `arrivals` holds indices into `outcomes` (==
+  /// positions in the trace's GPU-job order) in submit order; entries are
+  /// pre-filled with submit/gpus/vc/trace_index and run() writes start, end,
+  /// and rejected for its own entries only, so shards may run concurrently
+  /// over one shared outcomes vector.
+  Counters run(const trace::Trace& t, const std::vector<std::size_t>& arrivals,
+               std::vector<JobOutcome>& outcomes);
+
+  /// Busy-count segments recorded by run(), in time order.
+  [[nodiscard]] const std::vector<BusySegment>& segments() const noexcept {
+    return segments_;
+  }
+
+ private:
+  const SimConfig* config_;
+  UnixTime window_begin_;
+  ClusterState state_;
+  std::vector<BusySegment> segments_;
+};
+
+}  // namespace helios::sim

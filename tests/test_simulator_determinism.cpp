@@ -1,0 +1,163 @@
+// Sharded-vs-serial determinism of the VC-sharded simulator.
+//
+// ClusterSimulator runs one VcSimulator per VC, concurrently under
+// SimExecution::kSharded. This suite asserts the parallel run's SimResult —
+// outcomes, counters, per-VC stats, and the busy-nodes/GPUs series — is
+// *identical* (exact doubles, not approximately equal) to the retained
+// serial reference (SimExecution::kSerial) across all four policies,
+// backfill on/off, and several synthetic-trace seeds.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+namespace helios::sim {
+namespace {
+
+using trace::Trace;
+
+const Trace& venus_trace(std::uint64_t seed) {
+  static std::map<std::uint64_t, Trace> cache;
+  auto it = cache.find(seed);
+  if (it == cache.end()) {
+    auto cfg = trace::GeneratorConfig::helios(trace::helios_cluster("Venus"),
+                                              seed, 0.02);
+    it = cache.emplace(seed, trace::SyntheticTraceGenerator(cfg).generate())
+             .first;
+  }
+  return it->second;
+}
+
+void expect_identical(const SimResult& serial, const SimResult& sharded) {
+  ASSERT_EQ(serial.outcomes.size(), sharded.outcomes.size());
+  for (std::size_t i = 0; i < serial.outcomes.size(); ++i) {
+    const JobOutcome& a = serial.outcomes[i];
+    const JobOutcome& b = sharded.outcomes[i];
+    ASSERT_EQ(a.trace_index, b.trace_index) << "outcome " << i;
+    ASSERT_EQ(a.submit, b.submit) << "outcome " << i;
+    ASSERT_EQ(a.start, b.start) << "outcome " << i;
+    ASSERT_EQ(a.end, b.end) << "outcome " << i;
+    ASSERT_EQ(a.gpus, b.gpus) << "outcome " << i;
+    ASSERT_EQ(a.vc, b.vc) << "outcome " << i;
+    ASSERT_EQ(a.rejected, b.rejected) << "outcome " << i;
+  }
+  // Scalar metrics: exact equality — both paths fold the same integers in
+  // the same order.
+  EXPECT_EQ(serial.avg_jct, sharded.avg_jct);
+  EXPECT_EQ(serial.avg_queue_delay, sharded.avg_queue_delay);
+  EXPECT_EQ(serial.queued_jobs, sharded.queued_jobs);
+  EXPECT_EQ(serial.preemptions, sharded.preemptions);
+  EXPECT_EQ(serial.rejected_jobs, sharded.rejected_jobs);
+  ASSERT_EQ(serial.vc_stats.size(), sharded.vc_stats.size());
+  for (std::size_t v = 0; v < serial.vc_stats.size(); ++v) {
+    EXPECT_EQ(serial.vc_stats[v].name, sharded.vc_stats[v].name);
+    EXPECT_EQ(serial.vc_stats[v].gpus, sharded.vc_stats[v].gpus);
+    EXPECT_EQ(serial.vc_stats[v].jobs, sharded.vc_stats[v].jobs);
+    EXPECT_EQ(serial.vc_stats[v].avg_queue_delay,
+              sharded.vc_stats[v].avg_queue_delay);
+    EXPECT_EQ(serial.vc_stats[v].avg_jct, sharded.vc_stats[v].avg_jct);
+  }
+  // Busy series: bit-identical buckets (integer-exact integration).
+  ASSERT_EQ(serial.busy_nodes.begin, sharded.busy_nodes.begin);
+  ASSERT_EQ(serial.busy_nodes.step, sharded.busy_nodes.step);
+  ASSERT_EQ(serial.busy_nodes.values.size(), sharded.busy_nodes.values.size());
+  for (std::size_t i = 0; i < serial.busy_nodes.values.size(); ++i) {
+    ASSERT_EQ(serial.busy_nodes.values[i], sharded.busy_nodes.values[i])
+        << "busy_nodes bucket " << i;
+  }
+  ASSERT_EQ(serial.busy_gpus.values.size(), sharded.busy_gpus.values.size());
+  for (std::size_t i = 0; i < serial.busy_gpus.values.size(); ++i) {
+    ASSERT_EQ(serial.busy_gpus.values[i], sharded.busy_gpus.values[i])
+        << "busy_gpus bucket " << i;
+  }
+}
+
+struct Case {
+  SchedulerPolicy policy;
+  bool backfill;
+  std::uint64_t seed;
+};
+
+class ShardedDeterminismTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ShardedDeterminismTest, ShardedMatchesSerialReference) {
+  const Case c = GetParam();
+  const Trace& t = venus_trace(c.seed);
+
+  SimConfig cfg;
+  cfg.policy = c.policy;
+  cfg.backfill = c.backfill;
+  if (c.policy == SchedulerPolicy::kQssf) {
+    cfg.priority_fn = [](const trace::JobRecord& j) {
+      return static_cast<double>(j.duration) * j.num_gpus;
+    };
+  }
+
+  cfg.execution = SimExecution::kSerial;
+  const SimResult serial = ClusterSimulator(t.cluster(), cfg).run(t);
+
+  cfg.execution = SimExecution::kSharded;
+  const SimResult sharded = ClusterSimulator(t.cluster(), cfg).run(t);
+  expect_identical(serial, sharded);
+
+  // Sharded runs must also be stable across repetitions (no dependence on
+  // thread scheduling).
+  const SimResult again = ClusterSimulator(t.cluster(), cfg).run(t);
+  expect_identical(sharded, again);
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (const auto policy :
+       {SchedulerPolicy::kFifo, SchedulerPolicy::kSjf, SchedulerPolicy::kSrtf,
+        SchedulerPolicy::kQssf}) {
+    for (const bool backfill : {false, true}) {
+      for (const std::uint64_t seed : {7ull, 19ull}) {
+        cases.push_back({policy, backfill, seed});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPoliciesBackfillSeeds, ShardedDeterminismTest,
+                         ::testing::ValuesIn(all_cases()),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param.policy)) +
+                                  (info.param.backfill ? "Backfill" : "") +
+                                  "Seed" + std::to_string(info.param.seed);
+                         });
+
+// A hand-built multi-VC trace with same-timestamp arrivals and finishes in
+// different VCs: the classic race surface for a sharded event loop.
+TEST(ShardedDeterminism, TinyCrossVcTrace) {
+  trace::ClusterSpec s;
+  s.name = "two";
+  s.gpus_per_node = 8;
+  s.vcs = {{"vc0", 2, 8}, {"vc1", 1, 8}};
+  s.nodes = 3;
+  Trace t(s);
+  t.add(0, 100, 8, 8, "u0", "vc0", "a", trace::JobState::kCompleted);
+  t.add(0, 100, 8, 8, "u1", "vc1", "b", trace::JobState::kCompleted);
+  t.add(100, 50, 16, 16, "u0", "vc0", "c", trace::JobState::kCompleted);
+  t.add(100, 50, 8, 8, "u1", "vc1", "d", trace::JobState::kCompleted);
+  t.add(100, 5, 2, 2, "u2", "vc0", "e", trace::JobState::kCompleted);
+  t.sort_by_submit_time();
+
+  for (const bool backfill : {false, true}) {
+    SimConfig cfg;
+    cfg.policy = SchedulerPolicy::kFifo;
+    cfg.backfill = backfill;
+    cfg.execution = SimExecution::kSerial;
+    const SimResult serial = ClusterSimulator(s, cfg).run(t);
+    cfg.execution = SimExecution::kSharded;
+    const SimResult sharded = ClusterSimulator(s, cfg).run(t);
+    expect_identical(serial, sharded);
+  }
+}
+
+}  // namespace
+}  // namespace helios::sim
