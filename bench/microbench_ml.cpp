@@ -1,11 +1,27 @@
 // google-benchmark microbenchmarks for the ML kernels on the QSSF hot paths:
-// GBDT training/inference, Levenshtein matching, name bucketization.
+// GBDT training/inference, the online priority evaluator, Levenshtein
+// matching, name bucketization.
+//
+// The BM_GbdtFit / BM_GbdtPredictMany / BM_OnlineEvaluator benches run the
+// histogram engine (GBDTEngine::kHistogram) and the chunked evaluator
+// (EvalExecution::kChunked); the *Reference / *Serial variants run the
+// retained baselines for comparison. main() first asserts bit-for-bit
+// parity — histogram-vs-reference models (same trees, same training RMSE)
+// and chunked-vs-serial evaluator priorities — so a perf run against a
+// broken trainer fails loudly instead of reporting a meaningless speedup.
+// See BENCH_ml.json for recorded before/after numbers.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/rng.h"
+#include "core/qssf_service.h"
 #include "ml/dataset.h"
 #include "ml/gbdt.h"
 #include "ml/levenshtein.h"
+#include "trace/synthetic.h"
 
 namespace {
 
@@ -17,7 +33,10 @@ ml::Dataset make_dataset(std::size_t rows, std::size_t features, Rng& rng) {
   for (std::size_t r = 0; r < rows; ++r) {
     double y = 0.0;
     for (std::size_t f = 0; f < features; ++f) {
-      row[f] = rng.uniform(-1.0, 1.0);
+      // Mix continuous and small-integer (categorical-like) features, the
+      // shape of the QSSF encoding.
+      row[f] = (f % 2 == 0) ? rng.uniform(-1.0, 1.0)
+                            : static_cast<double>(rng.uniform_int(0, 12));
       y += (f % 3 == 0 ? 2.0 : -0.5) * row[f];
     }
     d.add_row(row, y + rng.normal(0.0, 0.1));
@@ -25,35 +44,146 @@ ml::Dataset make_dataset(std::size_t rows, std::size_t features, Rng& rng) {
   return d;
 }
 
-void BM_GbdtFit(benchmark::State& state) {
-  Rng rng(42);
-  const auto rows = static_cast<std::size_t>(state.range(0));
-  const ml::Dataset data = make_dataset(rows, 9, rng);
+/// Philly-scale training set: ~100k jobs (Table 1), 9 features like the
+/// QSSF encoding.
+const ml::Dataset& philly_dataset() {
+  static const ml::Dataset d = [] {
+    Rng rng(42);
+    return make_dataset(100'000, 9, rng);
+  }();
+  return d;
+}
+
+ml::GBDTConfig philly_cfg(ml::GBDTEngine engine) {
   ml::GBDTConfig cfg;
   cfg.n_trees = 20;
+  cfg.max_depth = 6;
+  cfg.learning_rate = 0.12;
+  cfg.min_samples_leaf = 30;
+  cfg.subsample = 0.7;
+  cfg.max_bins = 64;
+  cfg.engine = engine;
+  return cfg;
+}
+
+void run_fit(benchmark::State& state, ml::GBDTEngine engine) {
+  const auto& data = philly_dataset();
+  const auto cfg = philly_cfg(engine);
   for (auto _ : state) {
     ml::GBDTRegressor model(cfg);
     model.fit(data);
     benchmark::DoNotOptimize(model.trained());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(rows));
+                          static_cast<std::int64_t>(data.rows()));
 }
-BENCHMARK(BM_GbdtFit)->Arg(2000)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+void BM_GbdtFit(benchmark::State& state) {
+  run_fit(state, ml::GBDTEngine::kHistogram);
+}
+void BM_GbdtFitReference(benchmark::State& state) {
+  run_fit(state, ml::GBDTEngine::kReference);
+}
+BENCHMARK(BM_GbdtFit)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GbdtFitReference)->Unit(benchmark::kMillisecond);
+
+const ml::GBDTRegressor& philly_model() {
+  static const ml::GBDTRegressor model = [] {
+    auto cfg = philly_cfg(ml::GBDTEngine::kHistogram);
+    cfg.n_trees = 60;
+    ml::GBDTRegressor m(cfg);
+    m.fit(philly_dataset());
+    return m;
+  }();
+  return model;
+}
+
+void BM_GbdtPredictMany(benchmark::State& state) {
+  const auto& data = philly_dataset();
+  const auto& model = philly_model();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_many(data).size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.rows()));
+}
+/// The pre-batching inference path: one raw-feature tree walk per row.
+void BM_GbdtPredictPerRow(benchmark::State& state) {
+  const auto& data = philly_dataset();
+  const auto& model = philly_model();
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+      sum += model.predict(data.row(r));
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.rows()));
+}
+BENCHMARK(BM_GbdtPredictMany)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GbdtPredictPerRow)->Unit(benchmark::kMillisecond);
 
 void BM_GbdtPredict(benchmark::State& state) {
-  Rng rng(42);
-  const ml::Dataset data = make_dataset(20000, 9, rng);
-  ml::GBDTConfig cfg;
-  cfg.n_trees = 60;
-  ml::GBDTRegressor model(cfg);
-  model.fit(data);
-  const std::vector<double> probe = {0.1, -0.2, 0.3, 0.4, -0.5, 0.6, 0.0, 0.2, -0.1};
+  const auto& model = philly_model();
+  const std::vector<double> probe = {0.1, 3.0, 0.3, 4.0, -0.5, 6.0, 0.0, 2.0, -0.1};
   for (auto _ : state) {
     benchmark::DoNotOptimize(model.predict(probe));
   }
 }
 BENCHMARK(BM_GbdtPredict);
+
+// ---------------------------------------------------------------------------
+// OnlinePriorityEvaluator (QSSF rolling-origin evaluation)
+// ---------------------------------------------------------------------------
+
+struct EvalFixture {
+  trace::Trace eval;
+  core::QssfService service;
+
+  EvalFixture() : eval(trace::helios_cluster("Venus")) {
+    auto cfg = trace::GeneratorConfig::helios(trace::helios_cluster("Venus"),
+                                              42, 0.2);
+    const trace::Trace t = trace::SyntheticTraceGenerator(cfg).generate();
+    const auto train =
+        t.between(trace::helios_trace_begin(), from_civil(2020, 9, 1));
+    eval = t.between(from_civil(2020, 9, 1), trace::helios_trace_end());
+    service.fit(train);
+  }
+
+  static const EvalFixture& instance() {
+    static const EvalFixture fx;
+    return fx;
+  }
+};
+
+void run_evaluator(benchmark::State& state, core::EvalExecution execution) {
+  const auto& fx = EvalFixture::instance();
+  core::EvalOptions opts;
+  opts.execution = execution;
+  std::size_t jobs = 0;
+  for (auto _ : state) {
+    core::QssfService svc = fx.service;  // evaluator folds jobs into the service
+    core::OnlinePriorityEvaluator evaluator(svc, fx.eval, opts);
+    jobs = evaluator.predicted_gpu_time().size();
+    benchmark::DoNotOptimize(jobs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs));
+}
+
+void BM_OnlineEvaluator(benchmark::State& state) {
+  run_evaluator(state, core::EvalExecution::kChunked);
+}
+void BM_OnlineEvaluatorSerial(benchmark::State& state) {
+  run_evaluator(state, core::EvalExecution::kSerial);
+}
+BENCHMARK(BM_OnlineEvaluator)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OnlineEvaluatorSerial)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Levenshtein / name bucketization
+// ---------------------------------------------------------------------------
 
 void BM_Levenshtein(benchmark::State& state) {
   const std::string a = "u0042_train_resnet50_v1";
@@ -91,6 +221,100 @@ void BM_NameBucketizer(benchmark::State& state) {
 }
 BENCHMARK(BM_NameBucketizer)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Parity gates
+// ---------------------------------------------------------------------------
+
+bool models_equal(const ml::GBDTRegressor& a, const ml::GBDTRegressor& b) {
+  if (a.tree_count() != b.tree_count()) return false;
+  if (a.training_rmse() != b.training_rmse()) return false;
+  for (std::size_t t = 0; t < a.tree_count(); ++t) {
+    const auto& na = a.trees()[t].nodes();
+    const auto& nb = b.trees()[t].nodes();
+    if (na.size() != nb.size()) return false;
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      if (na[i].feature != nb[i].feature || na[i].split_bin != nb[i].split_bin ||
+          na[i].threshold != nb[i].threshold || na[i].left != nb[i].left ||
+          na[i].right != nb[i].right || na[i].value != nb[i].value ||
+          na[i].gain != nb[i].gain) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Hard gate: the histogram engine must reproduce the reference trainer
+/// bit-for-bit, and the chunked evaluator the serial one, on the benchmark
+/// workloads, before any timing runs.
+void verify_parity() {
+  Rng rng(7);
+  const ml::Dataset data = make_dataset(20'000, 9, rng);
+  auto cfg = philly_cfg(ml::GBDTEngine::kHistogram);
+  cfg.n_trees = 10;
+  auto ref_cfg = cfg;
+  ref_cfg.engine = ml::GBDTEngine::kReference;
+  ml::GBDTRegressor hist_model(cfg);
+  ml::GBDTRegressor ref_model(ref_cfg);
+  hist_model.fit(data);
+  ref_model.fit(data);
+  if (!models_equal(hist_model, ref_model)) {
+    std::fprintf(stderr,
+                 "FATAL: histogram GBDT engine diverges from the reference "
+                 "trainer\n");
+    std::exit(1);
+  }
+  const auto batched = hist_model.predict_many(data);
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    if (batched[r] != hist_model.predict(data.row(r))) {
+      std::fprintf(stderr,
+                   "FATAL: predict_many diverges from per-row predict\n");
+      std::exit(1);
+    }
+  }
+
+  auto gen = trace::GeneratorConfig::helios(trace::helios_cluster("Venus"), 13,
+                                            0.03);
+  const trace::Trace t = trace::SyntheticTraceGenerator(gen).generate();
+  const auto train = t.between(trace::helios_trace_begin(), from_civil(2020, 9, 1));
+  const auto eval = t.between(from_civil(2020, 9, 1), trace::helios_trace_end());
+  core::QssfConfig qcfg;
+  qcfg.gbdt.n_trees = 20;
+  core::QssfService serial_svc(qcfg);
+  core::QssfService chunked_svc(qcfg);
+  serial_svc.fit(train);
+  chunked_svc.fit(train);
+  core::EvalOptions serial_opts;
+  serial_opts.execution = core::EvalExecution::kSerial;
+  core::EvalOptions chunked_opts;
+  chunked_opts.min_window = 1;
+  chunked_opts.max_windows = 7;  // force the window machinery on any machine
+  core::OnlinePriorityEvaluator serial_eval(serial_svc, eval, serial_opts);
+  core::OnlinePriorityEvaluator chunked_eval(chunked_svc, eval, chunked_opts);
+  bool ok = serial_eval.predicted_gpu_time() == chunked_eval.predicted_gpu_time() &&
+            serial_eval.actual_gpu_time() == chunked_eval.actual_gpu_time();
+  for (const auto& j : eval.jobs()) {
+    if (!ok) break;
+    if (!j.is_gpu_job()) continue;
+    ok = serial_eval.priority_of(j) == chunked_eval.priority_of(j) &&
+         serial_svc.rolling_estimate(eval, j) ==
+             chunked_svc.rolling_estimate(eval, j);
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FATAL: chunked OnlinePriorityEvaluator diverges from the "
+                 "serial reference\n");
+    std::exit(1);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  verify_parity();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -26,13 +26,22 @@ cmake --build build -j "$(nproc)"
 
 if [ "$mode" = bench ]; then
   # Perf smoke: run each microbenchmark briefly; any crash, assertion (the
-  # sim bench verifies sharded-vs-serial parity at startup), or missing
-  # binary fails the script.
+  # sim bench verifies sharded-vs-serial parity, the ML bench verifies
+  # histogram-vs-reference GBDT and chunked-vs-serial evaluator parity, both
+  # at startup), or missing binary fails the script.
   if [ ! -x build/microbench_sim ]; then
     echo "FAIL: microbench_sim not built (install google-benchmark)" >&2
     exit 1
   fi
   build/microbench_sim --benchmark_min_time=0.1 "$@"
+  if [ ! -x build/microbench_ml ]; then
+    echo "FAIL: microbench_ml not built (install google-benchmark)" >&2
+    exit 1
+  fi
+  # Machine-readable results land next to the curated repo-root BENCH_ml.json
+  # (recorded medians); the binary exits non-zero on any parity mismatch.
+  build/microbench_ml --benchmark_min_time=0.1 \
+    --benchmark_out=build/BENCH_ml.json --benchmark_out_format=json "$@"
   if [ ! -x build/microbench_ingest ]; then
     echo "FAIL: microbench_ingest not built" >&2
     exit 1

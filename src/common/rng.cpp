@@ -15,9 +15,6 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
-constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-  return (x << k) | (x >> (64 - k));
-}
 }  // namespace
 
 void Rng::reseed(std::uint64_t seed) noexcept {
@@ -26,28 +23,7 @@ void Rng::reseed(std::uint64_t seed) noexcept {
   has_cached_normal_ = false;
 }
 
-std::uint64_t Rng::next() noexcept {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
 Rng Rng::split() noexcept { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
-
-double Rng::uniform() noexcept {
-  // 53 random mantissa bits -> [0, 1).
-  return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) noexcept {
-  return lo + (hi - lo) * uniform();
-}
 
 std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
   // Lemire's nearly-divisionless bounded sampling; bias is negligible for
@@ -65,8 +41,6 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
   return lo + static_cast<std::int64_t>(
                   uniform_index(static_cast<std::uint64_t>(hi - lo) + 1));
 }
-
-bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
 
 double Rng::normal() noexcept {
   if (has_cached_normal_) {

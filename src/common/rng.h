@@ -26,21 +26,39 @@ class Rng {
   static constexpr result_type max() noexcept { return ~0ULL; }
 
   result_type operator()() noexcept { return next(); }
-  std::uint64_t next() noexcept;
+  /// Inline: next()/uniform()/bernoulli() are the per-row hot path of trace
+  /// synthesis and GBDT subsampling — an out-of-line call per draw dominates
+  /// the generator itself.
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Derive an independent stream (for per-worker / per-cluster RNGs).
   [[nodiscard]] Rng split() noexcept;
 
   /// Uniform double in [0, 1).
-  double uniform() noexcept;
+  double uniform() noexcept {
+    // 53 random mantissa bits -> [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
   /// Uniform double in [lo, hi).
-  double uniform(double lo, double hi) noexcept;
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
   /// Uniform integer in [0, n); n must be > 0.
   std::uint64_t uniform_index(std::uint64_t n) noexcept;
   /// Uniform integer in [lo, hi] inclusive.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
   /// Bernoulli trial.
-  bool bernoulli(double p) noexcept;
+  bool bernoulli(double p) noexcept { return uniform() < p; }
   /// Standard normal via Box-Muller (cached second variate).
   double normal() noexcept;
   /// Normal with given mean / stddev.
@@ -67,6 +85,10 @@ class Rng {
   }
 
  private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4]{};
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;

@@ -81,11 +81,16 @@ void parallel_run_chunks(
     const std::vector<std::pair<std::size_t, std::size_t>>& chunks,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
   if (chunks.empty()) return;
-  if (chunks.size() == 1) {
-    fn(0, chunks[0].first, chunks[0].second);
+  auto& pool = global_pool();
+  // A single chunk, or a single-threaded pool, gains nothing from dispatch:
+  // run inline on the caller (on a one-core machine the handoff to the lone
+  // worker otherwise costs real wall time on every call).
+  if (chunks.size() == 1 || pool.thread_count() <= 1) {
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      fn(i, chunks[i].first, chunks[i].second);
+    }
     return;
   }
-  auto& pool = global_pool();
   std::vector<std::future<void>> futures;
   futures.reserve(chunks.size());
   for (std::size_t i = 0; i < chunks.size(); ++i) {

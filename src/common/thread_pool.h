@@ -12,6 +12,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <queue>
 #include <thread>
 #include <utility>
@@ -83,5 +84,32 @@ void parallel_run_chunks(
 /// under a parallel driver. The first exception propagates after all tasks
 /// have finished.
 void parallel_run_tasks(std::vector<std::function<void()>> tasks);
+
+/// Chunked map-reduce over [begin, end): `make(lo, hi)` produces one partial
+/// result per contiguous chunk on the pool; partials are then folded
+/// left-to-right in chunk order via `merge(acc, partial)`. Because the merge
+/// order is fixed, the reduction is deterministic for any thread count — and
+/// when the partials combine exactly (integer sums, bitwise-stable state) the
+/// result is identical to a serial left fold. Used by the GBDT histogram
+/// engine to merge per-chunk gradient histograms.
+template <typename T, typename MakeFn, typename MergeFn>
+[[nodiscard]] T parallel_map_reduce(std::size_t begin, std::size_t end,
+                                    std::size_t grain, MakeFn&& make,
+                                    MergeFn&& merge) {
+  const std::size_t threads = global_pool().thread_count();
+  const auto chunks =
+      chunk_ranges(begin, end, threads > 1 ? threads * 2 : 1, grain);
+  if (chunks.size() <= 1) return make(begin, end);
+  std::vector<std::optional<T>> partials(chunks.size());
+  parallel_run_chunks(chunks,
+                      [&](std::size_t i, std::size_t lo, std::size_t hi) {
+                        partials[i].emplace(make(lo, hi));
+                      });
+  T acc = std::move(*partials.front());
+  for (std::size_t i = 1; i < partials.size(); ++i) {
+    merge(acc, std::move(*partials[i]));
+  }
+  return acc;
+}
 
 }  // namespace helios

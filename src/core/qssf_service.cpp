@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
+#include <functional>
+#include <utility>
 
 #include "common/civil_time.h"
+#include "common/thread_pool.h"
 
 namespace helios::core {
 
@@ -23,10 +25,123 @@ ml::GBDTConfig QssfConfig::default_gbdt_config() {
   return cfg;
 }
 
+// ---------------------------------------------------------------------------
+// RollingEstimator
+// ---------------------------------------------------------------------------
+
+const RollingEstimator::NameEntry* RollingEstimator::find_name(
+    const UserHistory& u, const std::string& name) const {
+  const NameEntry* best = nullptr;
+  double best_dist = name_match_threshold_;
+  for (const auto& e : u.names) {
+    if (e.name == name) return &e;  // exact hit wins immediately
+    const auto limit = static_cast<std::size_t>(std::floor(
+        name_match_threshold_ *
+        static_cast<double>(std::max(e.name.size(), name.size()))));
+    if (!ml::within_distance(e.name, name, limit)) continue;
+    const double d = ml::normalized_levenshtein(e.name, name);
+    if (d <= best_dist) {
+      best_dist = d;
+      best = &e;
+    }
+  }
+  return best;
+}
+
+void RollingEstimator::observe(const Trace& t, const JobRecord& job) {
+  if (!job.is_gpu_job()) return;
+  // Dedupe: the Model Update Engine may be fed cumulative traces
+  // (QssfService::update), and re-observing a job would double-count the
+  // global/user sums and re-decay the name EWMAs. Keyed on job identity
+  // *content* (id + submit + duration + demand + user), not the id alone —
+  // independently built traces restart ids at 0, and an id collision across
+  // lineages must not silently drop a genuinely new observation.
+  std::uint64_t key = job.job_id;
+  key = (key ^ static_cast<std::uint64_t>(job.submit_time)) * 0x9e3779b97f4a7c15ULL;
+  key = (key ^ ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(job.duration))
+                 << 32) |
+                ((static_cast<std::uint64_t>(job.user) << 8) ^
+                 static_cast<std::uint32_t>(job.num_gpus)))) *
+        0xbf58476d1ce4e5b9ULL;
+  if (!observed_ids_.insert(key).second) return;
+  const double dur = static_cast<double>(job.duration);
+  ++observe_counter_;
+
+  auto& g = global_by_gpus_[job.num_gpus];
+  g.first += dur;
+  ++g.second;
+  global_duration_sum_ += dur;
+  ++global_jobs_;
+
+  UserHistory& u = users_[t.user_name(job)];
+  auto& ug = u.by_gpus[job.num_gpus];
+  ug.first += dur;
+  ++ug.second;
+  u.duration_sum += dur;
+  ++u.jobs;
+
+  if (!use_names_) return;  // limited-information mode
+  const std::string& name = t.job_name(job);
+  if (auto* e = const_cast<NameEntry*>(find_name(u, name))) {
+    // Exponentially-weighted rolling duration (newest dominates).
+    e->ewma_duration = rolling_decay_ * e->ewma_duration +
+                       (1.0 - rolling_decay_) * dur;
+    e->weight = rolling_decay_ * e->weight + (1.0 - rolling_decay_);
+    e->last_seen = observe_counter_;
+  } else {
+    if (u.names.size() >= max_names_per_user_) {
+      // Evict the least-recently-seen entry.
+      auto oldest = std::min_element(u.names.begin(), u.names.end(),
+                                     [](const NameEntry& a, const NameEntry& b) {
+                                       return a.last_seen < b.last_seen;
+                                     });
+      u.names.erase(oldest);
+    }
+    NameEntry fresh;
+    fresh.name = name;
+    fresh.ewma_duration = (1.0 - rolling_decay_) * dur;
+    fresh.weight = 1.0 - rolling_decay_;
+    fresh.last_seen = observe_counter_;
+    u.names.push_back(std::move(fresh));
+  }
+}
+
+double RollingEstimator::estimate(const Trace& t, const JobRecord& job) const {
+  const auto user_it = users_.find(t.user_name(job));
+  if (user_it == users_.end()) {
+    // New user: cluster-wide mean duration for this GPU demand (line 14).
+    const auto it = global_by_gpus_.find(job.num_gpus);
+    if (it != global_by_gpus_.end() && it->second.second > 0) {
+      return it->second.first / static_cast<double>(it->second.second);
+    }
+    return global_jobs_ > 0 ? global_duration_sum_ / static_cast<double>(global_jobs_)
+                            : 600.0;
+  }
+  const UserHistory& u = user_it->second;
+  if (use_names_) {
+    if (const NameEntry* e = find_name(u, t.job_name(job));
+        e != nullptr && e->weight > 0.0) {
+      // Similar name: exponentially-weighted decay of its durations (line 18).
+      return e->ewma_duration / e->weight;
+    }
+  }
+  // Known user, new job name: user's mean for this GPU demand (line 16).
+  const auto it = u.by_gpus.find(job.num_gpus);
+  if (it != u.by_gpus.end() && it->second.second > 0) {
+    return it->second.first / static_cast<double>(it->second.second);
+  }
+  return u.jobs > 0 ? u.duration_sum / static_cast<double>(u.jobs) : 600.0;
+}
+
+// ---------------------------------------------------------------------------
+// QssfService
+// ---------------------------------------------------------------------------
+
 QssfService::QssfService(QssfConfig config)
     : config_(config),
       model_(config.gbdt),
-      name_buckets_(config.name_match_threshold, /*prefix_len=*/6) {}
+      name_buckets_(config.name_match_threshold, /*prefix_len=*/6),
+      rolling_(config) {}
 
 void QssfService::encode(const Trace& t, const JobRecord& job,
                          std::vector<double>& out) const {
@@ -46,77 +161,25 @@ void QssfService::encode(const Trace& t, const JobRecord& job,
   out.push_back(static_cast<double>(c.minute));
 }
 
-const QssfService::NameEntry* QssfService::find_name(
-    const UserHistory& u, const std::string& name) const {
-  const NameEntry* best = nullptr;
-  double best_dist = config_.name_match_threshold;
-  for (const auto& e : u.names) {
-    if (e.name == name) return &e;  // exact hit wins immediately
-    const auto limit = static_cast<std::size_t>(std::floor(
-        config_.name_match_threshold *
-        static_cast<double>(std::max(e.name.size(), name.size()))));
-    if (!ml::within_distance(e.name, name, limit)) continue;
-    const double d = ml::normalized_levenshtein(e.name, name);
-    if (d <= best_dist) {
-      best_dist = d;
-      best = &e;
-    }
+ml::Dataset QssfService::encode_jobs(
+    const Trace& t, std::span<const std::uint32_t> job_indices) const {
+  ml::Dataset data(kFeatureCount);
+  data.reserve(job_indices.size());
+  std::vector<double> row;
+  for (const std::uint32_t i : job_indices) {
+    encode(t, t.jobs()[i], row);
+    data.add_row(row, 0.0);
   }
-  return best;
-}
-
-QssfService::NameEntry* QssfService::find_name_mutable(UserHistory& u,
-                                                       const std::string& name) {
-  return const_cast<NameEntry*>(find_name(u, name));
+  return data;
 }
 
 void QssfService::observe(const Trace& t, const JobRecord& job) {
-  if (!job.is_gpu_job()) return;
-  const double dur = static_cast<double>(job.duration);
-  ++observe_counter_;
-
-  auto& g = global_by_gpus_[job.num_gpus];
-  g.first += dur;
-  ++g.second;
-  global_duration_sum_ += dur;
-  ++global_jobs_;
-
-  UserHistory& u = users_[t.user_name(job)];
-  auto& ug = u.by_gpus[job.num_gpus];
-  ug.first += dur;
-  ++ug.second;
-  u.duration_sum += dur;
-  ++u.jobs;
-
-  if (!config_.use_names) return;  // limited-information mode
-  const std::string& name = t.job_name(job);
-  if (NameEntry* e = find_name_mutable(u, name)) {
-    // Exponentially-weighted rolling duration (newest dominates).
-    e->ewma_duration = config_.rolling_decay * e->ewma_duration +
-                       (1.0 - config_.rolling_decay) * dur;
-    e->weight = config_.rolling_decay * e->weight + (1.0 - config_.rolling_decay);
-    e->last_seen = observe_counter_;
-  } else {
-    if (u.names.size() >= config_.max_names_per_user) {
-      // Evict the least-recently-seen entry.
-      auto oldest = std::min_element(u.names.begin(), u.names.end(),
-                                     [](const NameEntry& a, const NameEntry& b) {
-                                       return a.last_seen < b.last_seen;
-                                     });
-      u.names.erase(oldest);
-    }
-    NameEntry fresh;
-    fresh.name = name;
-    fresh.ewma_duration = (1.0 - config_.rolling_decay) * dur;
-    fresh.weight = 1.0 - config_.rolling_decay;
-    fresh.last_seen = observe_counter_;
-    u.names.push_back(std::move(fresh));
-  }
+  rolling_.observe(t, job);
 }
 
 void QssfService::fit(const Trace& history) {
-  // Rolling structures.
-  for (const auto& job : history.jobs()) observe(history, job);
+  // Rolling structures (job ids already folded in are skipped).
+  for (const auto& job : history.jobs()) rolling_.observe(history, job);
 
   // GBDT on log-duration.
   ml::Dataset data(kFeatureCount);
@@ -132,34 +195,11 @@ void QssfService::fit(const Trace& history) {
 void QssfService::update(const Trace& new_data) { fit(new_data); }
 
 double QssfService::rolling_estimate(const Trace& t, const JobRecord& job) const {
-  const auto user_it = users_.find(t.user_name(job));
-  if (user_it == users_.end()) {
-    // New user: cluster-wide mean duration for this GPU demand (line 14).
-    const auto it = global_by_gpus_.find(job.num_gpus);
-    if (it != global_by_gpus_.end() && it->second.second > 0) {
-      return it->second.first / static_cast<double>(it->second.second);
-    }
-    return global_jobs_ > 0 ? global_duration_sum_ / static_cast<double>(global_jobs_)
-                            : 600.0;
-  }
-  const UserHistory& u = user_it->second;
-  if (config_.use_names) {
-    if (const NameEntry* e = find_name(u, t.job_name(job));
-        e != nullptr && e->weight > 0.0) {
-      // Similar name: exponentially-weighted decay of its durations (line 18).
-      return e->ewma_duration / e->weight;
-    }
-  }
-  // Known user, new job name: user's mean for this GPU demand (line 16).
-  const auto it = u.by_gpus.find(job.num_gpus);
-  if (it != u.by_gpus.end() && it->second.second > 0) {
-    return it->second.first / static_cast<double>(it->second.second);
-  }
-  return u.jobs > 0 ? u.duration_sum / static_cast<double>(u.jobs) : 600.0;
+  return rolling_.estimate(t, job);
 }
 
 double QssfService::ml_estimate(const Trace& t, const JobRecord& job) const {
-  if (!model_.trained()) return rolling_estimate(t, job);
+  if (!model_.trained()) return rolling_.estimate(t, job);
   std::vector<double> row;
   encode(t, job, row);
   return std::max(1.0, std::expm1(model_.predict(row)));
@@ -172,8 +212,7 @@ double QssfService::predict_duration(const Trace& t, const JobRecord& job) const
 }
 
 double QssfService::priority(const Trace& t, const JobRecord& job) const {
-  return static_cast<double>(std::max(1, job.num_gpus)) *
-         predict_duration(t, job);
+  return combine(config_, rolling_estimate(t, job), ml_estimate(t, job), job);
 }
 
 // ---------------------------------------------------------------------------
@@ -181,14 +220,35 @@ double QssfService::priority(const Trace& t, const JobRecord& job) const {
 // ---------------------------------------------------------------------------
 
 OnlinePriorityEvaluator::OnlinePriorityEvaluator(QssfService& service,
-                                                 const Trace& eval) {
-  struct Pending {
-    std::int64_t finish = 0;
-    std::size_t index = 0;
-    bool operator>(const Pending& o) const noexcept { return finish > o.finish; }
-  };
-  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> pending;
+                                                 const Trace& eval,
+                                                 EvalOptions options) {
+  if (options.execution == EvalExecution::kSerial) {
+    run_serial(service, eval);
+  } else {
+    run_chunked(service, eval, options);
+  }
+}
 
+void OnlinePriorityEvaluator::drain_finished(std::vector<Pending>& pending,
+                                             std::int64_t now, const Trace& eval,
+                                             RollingEstimator& rolling) {
+  while (!pending.empty() && pending.front().finish <= now) {
+    std::pop_heap(pending.begin(), pending.end(), pending_after);
+    rolling.observe(eval, eval.jobs()[pending.back().index]);
+    pending.pop_back();
+  }
+}
+
+void OnlinePriorityEvaluator::push_pending(std::vector<Pending>& pending,
+                                           const JobRecord& job,
+                                           std::uint32_t index) {
+  pending.push_back({job.submit_time + job.duration, index});
+  std::push_heap(pending.begin(), pending.end(), pending_after);
+}
+
+void OnlinePriorityEvaluator::run_serial(QssfService& service,
+                                         const Trace& eval) {
+  std::vector<Pending> pending;
   priorities_.reserve(eval.size());
   for (std::size_t i = 0; i < eval.size(); ++i) {
     const JobRecord& job = eval.jobs()[i];
@@ -196,15 +256,128 @@ OnlinePriorityEvaluator::OnlinePriorityEvaluator(QssfService& service,
     // Fold in every job that has (approximately) finished by now; queuing
     // delay is unknown at this point, so submit+duration approximates the
     // termination feed of the Model Update Engine.
-    while (!pending.empty() && pending.top().finish <= job.submit_time) {
-      service.observe(eval, eval.jobs()[pending.top().index]);
-      pending.pop();
-    }
+    drain_finished(pending, job.submit_time, eval, service.rolling_);
     const double p = service.priority(eval, job);
     priorities_.emplace(job.job_id, p);
     predicted_.push_back(p);
     actual_.push_back(job.gpu_time());
-    pending.push({job.submit_time + job.duration, i});
+    push_pending(pending, job, static_cast<std::uint32_t>(i));
+  }
+}
+
+void OnlinePriorityEvaluator::run_chunked(QssfService& service,
+                                          const Trace& eval,
+                                          const EvalOptions& options) {
+  const auto& jobs = eval.jobs();
+  std::vector<std::uint32_t> gpu;
+  gpu.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].is_gpu_job()) gpu.push_back(static_cast<std::uint32_t>(i));
+  }
+  if (gpu.empty()) return;
+
+  // The GBDT half of every priority depends only on the (fixed) model, so it
+  // batches into one binned predict_many pass. Encoding runs in stream order,
+  // which warms the name buckets exactly as the serial path would.
+  const bool trained = service.trained();
+  std::vector<double> ml_est;
+  if (trained) {
+    const ml::Dataset encoded = service.encode_jobs(eval, gpu);
+    ml_est = service.model().predict_many(encoded);
+    for (double& v : ml_est) v = std::max(1.0, std::expm1(v));
+  }
+
+  // Window count: an explicit max_windows forces the replay machinery (for
+  // tests / benchmarks); otherwise size to the pool, never below min_window
+  // jobs per window.
+  std::size_t n_windows;
+  if (options.max_windows > 0) {
+    n_windows = std::min(options.max_windows, gpu.size());
+  } else {
+    const std::size_t threads =
+        std::max<std::size_t>(1, global_pool().thread_count());
+    n_windows = std::clamp<std::size_t>(
+        gpu.size() / std::max<std::size_t>(1, options.min_window), 1, threads);
+  }
+  std::vector<std::size_t> start(n_windows + 1);
+  for (std::size_t w = 0; w <= n_windows; ++w) {
+    start[w] = gpu.size() * w / n_windows;
+  }
+
+  // Serial pre-pass: replay only the observe stream through all but the last
+  // window, snapshotting (rolling state, pending heap) at each boundary. The
+  // heap executes the same push/pop sequence the serial path would, so the
+  // snapshot layouts — and therefore pop order — are identical.
+  struct Snapshot {
+    RollingEstimator rolling;
+    std::vector<Pending> heap;
+  };
+  std::vector<Snapshot> snaps(n_windows);
+  snaps[0] = {service.rolling_, {}};
+  {
+    RollingEstimator& live = service.rolling_;
+    std::vector<Pending> pending;
+    for (std::size_t w = 0; w + 1 < n_windows; ++w) {
+      for (std::size_t pos = start[w]; pos < start[w + 1]; ++pos) {
+        const JobRecord& job = jobs[gpu[pos]];
+        drain_finished(pending, job.submit_time, eval, live);
+        push_pending(pending, job, gpu[pos]);
+      }
+      snaps[w + 1] = {live, pending};
+    }
+  }
+
+  // Replay windows concurrently. Window w's snapshot already contains every
+  // observe due before its first job, so replaying its own stream yields
+  // exactly the serial rolling state at each of its jobs.
+  struct WindowResult {
+    std::vector<std::pair<std::uint64_t, double>> priorities;
+    std::vector<double> predicted;
+    std::vector<double> actual;
+  };
+  std::vector<WindowResult> results(n_windows);
+  RollingEstimator final_rolling;
+  const QssfConfig& cfg = service.config();
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(n_windows);
+  for (std::size_t w = 0; w < n_windows; ++w) {
+    tasks.push_back([&, w] {
+      RollingEstimator local = std::move(snaps[w].rolling);
+      std::vector<Pending> pending = std::move(snaps[w].heap);
+      WindowResult& out = results[w];
+      const std::size_t count = start[w + 1] - start[w];
+      out.priorities.reserve(count);
+      out.predicted.reserve(count);
+      out.actual.reserve(count);
+      for (std::size_t pos = start[w]; pos < start[w + 1]; ++pos) {
+        const JobRecord& job = jobs[gpu[pos]];
+        drain_finished(pending, job.submit_time, eval, local);
+        const double pr = local.estimate(eval, job);
+        // Untrained model: ml_estimate falls back to the rolling estimate,
+        // bitwise pr (it is a pure function of the same state).
+        const double pm = trained ? ml_est[pos] : pr;
+        const double p = QssfService::combine(cfg, pr, pm, job);
+        out.priorities.emplace_back(job.job_id, p);
+        out.predicted.push_back(p);
+        out.actual.push_back(job.gpu_time());
+        push_pending(pending, job, gpu[pos]);
+      }
+      if (w + 1 == n_windows) final_rolling = std::move(local);
+    });
+  }
+  parallel_run_tasks(std::move(tasks));
+
+  // The last window saw every observe the serial path applies; adopting its
+  // state leaves the service exactly where kSerial would.
+  service.rolling_ = std::move(final_rolling);
+
+  priorities_.reserve(gpu.size());
+  predicted_.reserve(gpu.size());
+  actual_.reserve(gpu.size());
+  for (auto& r : results) {
+    for (const auto& [id, p] : r.priorities) priorities_.emplace(id, p);
+    predicted_.insert(predicted_.end(), r.predicted.begin(), r.predicted.end());
+    actual_.insert(actual_.end(), r.actual.begin(), r.actual.end());
   }
 }
 

@@ -18,9 +18,13 @@
 // kQssf). Lower P = expected-shorter service = runs first.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/framework.h"
@@ -53,6 +57,63 @@ struct QssfConfig {
   [[nodiscard]] static ml::GBDTConfig default_gbdt_config();
 };
 
+/// The rolling half of Algorithm 1: per-user duration history with
+/// Levenshtein name matching, plus cluster-wide fallbacks. Split out of the
+/// service as a copyable value so the windowed OnlinePriorityEvaluator can
+/// snapshot and replay it deterministically on the thread pool.
+///
+/// Every finished job is folded in at most once, keyed by a hash of its
+/// identity content (job_id, submit time, duration, demand, user), so
+/// feeding an overlapping or cumulative trace cannot double-count history —
+/// and traces from a different lineage (ids restart at 0) still observe.
+class RollingEstimator {
+ public:
+  RollingEstimator() = default;
+  explicit RollingEstimator(const QssfConfig& config)
+      : use_names_(config.use_names),
+        name_match_threshold_(config.name_match_threshold),
+        rolling_decay_(config.rolling_decay),
+        max_names_per_user_(config.max_names_per_user) {}
+
+  /// Absorb one finished GPU job (idempotent per job_id).
+  void observe(const trace::Trace& t, const trace::JobRecord& job);
+
+  /// Expected duration (seconds) of an incoming job, Algorithm 1 lines 13-18.
+  [[nodiscard]] double estimate(const trace::Trace& t,
+                                const trace::JobRecord& job) const;
+
+  [[nodiscard]] std::int64_t observed_jobs() const noexcept { return global_jobs_; }
+
+ private:
+  struct NameEntry {
+    std::string name;
+    double ewma_duration = 0.0;
+    double weight = 0.0;
+    std::uint64_t last_seen = 0;  // insertion counter, for eviction
+  };
+  struct UserHistory {
+    std::unordered_map<int, std::pair<double, std::int64_t>> by_gpus;  // sum, n
+    double duration_sum = 0.0;
+    std::int64_t jobs = 0;
+    std::vector<NameEntry> names;
+  };
+
+  [[nodiscard]] const NameEntry* find_name(const UserHistory& u,
+                                           const std::string& name) const;
+
+  bool use_names_ = true;
+  double name_match_threshold_ = 0.20;
+  double rolling_decay_ = 0.75;
+  std::size_t max_names_per_user_ = 64;
+
+  std::unordered_map<std::string, UserHistory> users_;
+  std::unordered_map<int, std::pair<double, std::int64_t>> global_by_gpus_;
+  double global_duration_sum_ = 0.0;
+  std::int64_t global_jobs_ = 0;
+  std::uint64_t observe_counter_ = 0;
+  std::unordered_set<std::uint64_t> observed_ids_;  // content-hash keys
+};
+
 class QssfService final : public Service {
  public:
   explicit QssfService(QssfConfig config = {});
@@ -64,7 +125,8 @@ class QssfService final : public Service {
   void fit(const trace::Trace& history);
 
   /// Model Update Engine hook: absorb finished jobs into the rolling
-  /// estimator and refresh the GBDT.
+  /// estimator (already-seen job ids are skipped, so cumulative feeds are
+  /// safe) and refresh the GBDT on the given trace.
   void update(const trace::Trace& new_data) override;
 
   /// Absorb a single finished job into the rolling estimator (no GBDT refit).
@@ -84,38 +146,54 @@ class QssfService final : public Service {
   [[nodiscard]] double ml_estimate(const trace::Trace& t,
                                    const trace::JobRecord& job) const;
 
+  /// λ-merge of the two estimates scaled to GPU time — the single definition
+  /// of Priority() shared by the serial and the windowed evaluation paths.
+  [[nodiscard]] static double combine(const QssfConfig& config, double rolling,
+                                      double ml, const trace::JobRecord& job) {
+    return static_cast<double>(std::max(1, job.num_gpus)) *
+           (config.lambda * rolling + (1.0 - config.lambda) * ml);
+  }
+
+  /// Encode the given jobs into a GBDT feature matrix, warming the name
+  /// buckets in job order (the same order the serial path would).
+  [[nodiscard]] ml::Dataset encode_jobs(
+      const trace::Trace& t, std::span<const std::uint32_t> job_indices) const;
+
   [[nodiscard]] const QssfConfig& config() const noexcept { return config_; }
   [[nodiscard]] bool trained() const noexcept { return model_.trained(); }
+  [[nodiscard]] const ml::GBDTRegressor& model() const noexcept { return model_; }
+  [[nodiscard]] const RollingEstimator& rolling() const noexcept { return rolling_; }
 
  private:
-  struct NameEntry {
-    std::string name;
-    double ewma_duration = 0.0;
-    double weight = 0.0;
-    std::uint64_t last_seen = 0;  // insertion counter, for eviction
-  };
-  struct UserHistory {
-    std::unordered_map<int, std::pair<double, std::int64_t>> by_gpus;  // sum, n
-    double duration_sum = 0.0;
-    std::int64_t jobs = 0;
-    std::vector<NameEntry> names;
-  };
+  friend class OnlinePriorityEvaluator;  // snapshots / adopts rolling_
 
   static constexpr std::size_t kFeatureCount = 9;
   void encode(const trace::Trace& t, const trace::JobRecord& job,
               std::vector<double>& out) const;
-  [[nodiscard]] const NameEntry* find_name(const UserHistory& u,
-                                           const std::string& name) const;
-  NameEntry* find_name_mutable(UserHistory& u, const std::string& name);
 
   QssfConfig config_;
   ml::GBDTRegressor model_;
   mutable ml::NameBucketizer name_buckets_;  // grows lazily at predict time
-  std::unordered_map<std::string, UserHistory> users_;
-  std::unordered_map<int, std::pair<double, std::int64_t>> global_by_gpus_;
-  double global_duration_sum_ = 0.0;
-  std::int64_t global_jobs_ = 0;
-  std::uint64_t observe_counter_ = 0;
+  RollingEstimator rolling_;
+};
+
+/// Execution strategy for OnlinePriorityEvaluator (mirrors SimExecution).
+enum class EvalExecution {
+  /// Deterministic replay windows evaluated concurrently on the shared pool,
+  /// with the GBDT estimates batched through predict_many. Bit-identical to
+  /// kSerial for any window count or thread count.
+  kChunked,
+  /// Retained straightforward job-by-job loop (parity baseline).
+  kSerial,
+};
+
+struct EvalOptions {
+  EvalExecution execution = EvalExecution::kChunked;
+  /// Smallest window, in GPU jobs.
+  std::size_t min_window = 1024;
+  /// Cap on the window count; 0 = auto (the pool width). Tests force small
+  /// windows to exercise the replay machinery on any machine.
+  std::size_t max_windows = 0;
 };
 
 /// Evaluates QSSF priorities for a stream of jobs in submission order while
@@ -124,9 +202,19 @@ class QssfService final : public Service {
 /// the deployed Model Update Engine, which fine-tunes from jobs as they
 /// terminate. Returns a PriorityFn suitable for sim::SimConfig after
 /// precomputing priorities for every GPU job of `eval`.
+///
+/// The chunked mode splits the stream into contiguous replay windows: a
+/// serial pre-pass replays only the (cheap) observe stream, snapshotting the
+/// rolling state and pending-finish heap at each window boundary; windows
+/// then replay concurrently from their snapshots while the GBDT half of
+/// every priority comes from one batched predict_many pass. Because each
+/// window replays exactly the observes the serial path would apply, the
+/// result — and the service's final rolling state — is bit-identical to
+/// kSerial.
 class OnlinePriorityEvaluator {
  public:
-  OnlinePriorityEvaluator(QssfService& service, const trace::Trace& eval);
+  OnlinePriorityEvaluator(QssfService& service, const trace::Trace& eval,
+                          EvalOptions options = {});
 
   /// Priority for a trace job (precomputed; keyed by job_id).
   [[nodiscard]] double priority_of(const trace::JobRecord& job) const;
@@ -143,6 +231,26 @@ class OnlinePriorityEvaluator {
   }
 
  private:
+  /// Pending finish event; min-heap ordered by (finish, index) so the pop
+  /// order is a total order, identical however the heap was assembled.
+  struct Pending {
+    std::int64_t finish = 0;
+    std::uint32_t index = 0;
+  };
+  static bool pending_after(const Pending& a, const Pending& b) noexcept {
+    return a.finish != b.finish ? a.finish > b.finish : a.index > b.index;
+  }
+  /// The one heap-op sequence every replay site shares — the chunked mode's
+  /// bit-parity with kSerial depends on all sites executing it identically.
+  static void drain_finished(std::vector<Pending>& pending, std::int64_t now,
+                             const trace::Trace& eval, RollingEstimator& rolling);
+  static void push_pending(std::vector<Pending>& pending,
+                           const trace::JobRecord& job, std::uint32_t index);
+
+  void run_serial(QssfService& service, const trace::Trace& eval);
+  void run_chunked(QssfService& service, const trace::Trace& eval,
+                   const EvalOptions& options);
+
   std::unordered_map<std::uint64_t, double> priorities_;
   std::vector<double> predicted_;
   std::vector<double> actual_;

@@ -1,6 +1,10 @@
 #include "ml/dataset.h"
 
+#include <algorithm>
 #include <cassert>
+#include <numeric>
+
+#include "common/thread_pool.h"
 
 namespace helios::ml {
 
@@ -16,6 +20,118 @@ DatasetSplit Dataset::split(double train_fraction, Rng& rng) const {
     (rng.bernoulli(train_fraction) ? s.train : s.test).add_row(row(r), y_[r]);
   }
   return s;
+}
+
+// ---------------------------------------------------------------------------
+// FeatureBinner
+// ---------------------------------------------------------------------------
+
+void FeatureBinner::fit(const Dataset& data, int max_bins, Rng& rng) {
+  // Bin ids are std::uint8_t: with more than 256 bins the edge index would
+  // wrap modulo 256, scrambling splits. Clamp the budget instead.
+  max_bins = std::min(max_bins, 256);
+
+  const std::size_t n = data.rows();
+  const std::size_t p = data.features();
+  edges_.assign(p, {});
+  if (n == 0 || max_bins < 2) return;
+
+  // Quantile edges from a sample (binning fidelity does not need all rows;
+  // ~300 samples per candidate edge keep the quantiles stable).
+  constexpr std::size_t kSampleCap = 20'000;
+  std::vector<std::size_t> sample_rows;
+  if (n <= kSampleCap) {
+    sample_rows.resize(n);
+    std::iota(sample_rows.begin(), sample_rows.end(), 0);
+  } else {
+    sample_rows.reserve(kSampleCap);
+    for (std::size_t i = 0; i < kSampleCap; ++i) {
+      sample_rows.push_back(rng.uniform_index(n));
+    }
+  }
+
+  for (std::size_t f = 0; f < p; ++f) {
+    std::vector<double> values;
+    values.reserve(sample_rows.size());
+    for (std::size_t r : sample_rows) values.push_back(data.at(r, f));
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    auto& edges = edges_[f];
+    if (values.size() <= static_cast<std::size_t>(max_bins)) {
+      // Few distinct values: one bin per value (categorical-friendly).
+      edges.assign(values.begin(), values.size() > 1 ? values.end() - 1
+                                                     : values.begin());
+    } else {
+      edges.reserve(static_cast<std::size_t>(max_bins) - 1);
+      for (int b = 1; b < max_bins; ++b) {
+        const std::size_t idx =
+            values.size() * static_cast<std::size_t>(b) / static_cast<std::size_t>(max_bins);
+        const double e = values[std::min(idx, values.size() - 1)];
+        if (edges.empty() || e > edges.back()) edges.push_back(e);
+      }
+    }
+  }
+}
+
+BinnedMatrix bin_dataset(const Dataset& data, const FeatureBinner& binner,
+                         BinLayout layout) {
+  BinnedMatrix x;
+  x.rows = data.rows();
+  x.features = binner.features();
+  x.layout = layout;
+  x.bins.resize(x.rows * x.features);
+  x.feature_offset.resize(x.features + 1, 0);
+  for (std::size_t f = 0; f < x.features; ++f) {
+    x.feature_offset[f + 1] = x.feature_offset[f] + binner.bins(f);
+  }
+  if (layout == BinLayout::kRowMajor) {
+    const bool with_global = x.feature_offset[x.features] <= 0xffff;
+    if (with_global) x.global.resize(x.rows * x.features);
+    // One sequential pass over the (row-major) dataset, four rows at a time:
+    // the per-feature edge arrays all stay resident, and the interleaved
+    // searches overlap their dependent-load chains.
+    parallel_for_chunks(
+        0, x.rows,
+        [&](std::size_t lo, std::size_t hi) {
+          const std::size_t p = x.features;
+          const auto emit = [&](std::size_t r, std::size_t f, std::uint8_t b) {
+            x.bins[r * p + f] = b;
+            if (with_global) {
+              x.global[r * p + f] =
+                  static_cast<std::uint16_t>(x.feature_offset[f] + b);
+            }
+          };
+          std::size_t r = lo;
+          for (; r + 3 < hi; r += 4) {
+            for (std::size_t f = 0; f < p; ++f) {
+              const double v[4] = {data.at(r, f), data.at(r + 1, f),
+                                   data.at(r + 2, f), data.at(r + 3, f)};
+              std::uint8_t b[4];
+              binner.bin4(f, v, b);
+              for (std::size_t j = 0; j < 4; ++j) emit(r + j, f, b[j]);
+            }
+          }
+          for (; r < hi; ++r) {
+            for (std::size_t f = 0; f < p; ++f) {
+              emit(r, f, binner.bin(f, data.at(r, f)));
+            }
+          }
+        },
+        /*grain=*/8192);
+  } else {
+    parallel_for_chunks(
+        0, x.features,
+        [&](std::size_t f_lo, std::size_t f_hi) {
+          for (std::size_t f = f_lo; f < f_hi; ++f) {
+            std::uint8_t* col = x.bins.data() + f * x.rows;
+            for (std::size_t r = 0; r < x.rows; ++r) {
+              col[r] = binner.bin(f, data.at(r, f));
+            }
+          }
+        },
+        /*grain=*/1);
+  }
+  return x;
 }
 
 }  // namespace helios::ml

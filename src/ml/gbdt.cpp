@@ -1,6 +1,8 @@
 #include "ml/gbdt.h"
 
 #include <algorithm>
+#include <bit>
+#include <cassert>
 #include <cmath>
 #include <numeric>
 
@@ -9,87 +11,115 @@
 namespace helios::ml {
 
 // ---------------------------------------------------------------------------
-// FeatureBinner
+// QuantizedGradients
 // ---------------------------------------------------------------------------
 
-void FeatureBinner::fit(const Dataset& data, int max_bins, Rng& rng) {
-  const std::size_t n = data.rows();
-  const std::size_t p = data.features();
-  edges_.assign(p, {});
-  if (n == 0 || max_bins < 2) return;
-
-  // Quantile edges from a sample (binning fidelity does not need all rows).
-  constexpr std::size_t kSampleCap = 60'000;
-  std::vector<std::size_t> sample_rows;
-  if (n <= kSampleCap) {
-    sample_rows.resize(n);
-    std::iota(sample_rows.begin(), sample_rows.end(), 0);
-  } else {
-    sample_rows.reserve(kSampleCap);
-    for (std::size_t i = 0; i < kSampleCap; ++i) {
-      sample_rows.push_back(rng.uniform_index(n));
-    }
-  }
-
-  for (std::size_t f = 0; f < p; ++f) {
-    std::vector<double> values;
-    values.reserve(sample_rows.size());
-    for (std::size_t r : sample_rows) values.push_back(data.at(r, f));
-    std::sort(values.begin(), values.end());
-    values.erase(std::unique(values.begin(), values.end()), values.end());
-    auto& edges = edges_[f];
-    if (values.size() <= static_cast<std::size_t>(max_bins)) {
-      // Few distinct values: one bin per value (categorical-friendly).
-      edges.assign(values.begin(), values.size() > 1 ? values.end() - 1
-                                                     : values.begin());
-    } else {
-      edges.reserve(static_cast<std::size_t>(max_bins) - 1);
-      for (int b = 1; b < max_bins; ++b) {
-        const std::size_t idx =
-            values.size() * static_cast<std::size_t>(b) / static_cast<std::size_t>(max_bins);
-        const double e = values[std::min(idx, values.size() - 1)];
-        if (edges.empty() || e > edges.back()) edges.push_back(e);
-      }
-    }
-  }
+void QuantizedGradients::assign(std::span<const double> gradients) {
+  double max_abs = 0.0;
+  for (const double g : gradients) max_abs = std::max(max_abs, std::fabs(g));
+  assign(gradients, max_abs);
 }
 
-std::uint8_t FeatureBinner::bin(std::size_t feature, double value) const noexcept {
-  const auto& edges = edges_[feature];
-  const auto it = std::lower_bound(edges.begin(), edges.end(), value);
-  return static_cast<std::uint8_t>(it - edges.begin());
+void QuantizedGradients::assign(std::span<const double> gradients,
+                                double max_abs) {
+  q.resize(gradients.size());
+
+  // Pick scale = 2^k such that |sum of all n quantized gradients| < 2^38 and
+  // every |q| < 2^30: int64-exact sums under any accumulation order and
+  // subtraction, headroom for the histogram engine to pack a 24-bit row
+  // count into the low bits of the same int64, and int32 storage per row.
+  // Powers of two keep q * inv_scale an exact rescaling (only the int ->
+  // double conversion rounds, identically everywhere). The quantum,
+  // ~max_abs * n / 2^38, is ~1e-6 relative — far below the residual noise
+  // the trees are fitting.
+  double scale = 1.0;
+  if (max_abs > 0.0 && std::isfinite(max_abs)) {
+    int exp = 0;
+    std::frexp(max_abs, &exp);  // max_abs < 2^exp
+    const int n_bits = static_cast<int>(std::bit_width(gradients.size() + 1));
+    // Cap at 1023 so ldexp stays finite when the residuals are themselves
+    // denormal-tiny (exp << 0); the quantization just bottoms out there.
+    const int k = std::min({38 - exp - n_bits, 29 - exp, 1023});
+    scale = std::ldexp(1.0, k);
+  }
+  inv_scale = 1.0 / scale;
+  parallel_for_chunks(
+      0, gradients.size(),
+      [this, gradients, scale](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          // Round half away from zero — llround semantics without the call;
+          // copysign keeps the loop branch-free (vectorizable).
+          const double x = gradients[r] * scale;
+          q[r] = static_cast<std::int32_t>(x + std::copysign(0.5, x));
+        }
+      },
+      /*grain=*/16384);
 }
 
 // ---------------------------------------------------------------------------
-// RegressionTree
+// Tree builders
 // ---------------------------------------------------------------------------
 
 namespace {
+
+/// The histogram engine packs each bucket into one int64:
+/// (gradient_sum << 24) + row_count. Counts stay below 2^24 (enforced by
+/// kPackedRowLimit) and |gradient_sum| below 2^38 (enforced by the
+/// QuantizedGradients scale), so the fields cannot bleed into each other and
+/// a single integer add updates both at once.
+constexpr int kCountBits = 24;
+/// Row-chunk grain of the parallel histogram accumulation; build_hist's
+/// buffer-recycling test must match it.
+constexpr std::size_t kHistGrain = 16384;
+constexpr std::size_t kPackedRowLimit = std::size_t{1} << kCountBits;
+
+constexpr std::int64_t packed_sum(std::int64_t pack) noexcept {
+  return pack >> kCountBits;  // arithmetic shift = floor division: exact
+}
+constexpr std::int64_t packed_count(std::int64_t pack) noexcept {
+  return pack & ((std::int64_t{1} << kCountBits) - 1);
+}
 
 struct SplitDecision {
   double gain = 0.0;
   std::int32_t feature = -1;
   int bin = -1;  // go left iff bin(value) <= bin
+  std::int64_t left_q = 0;
+  std::int64_t left_cnt = 0;
 };
 
-/// Best split for one feature from its gradient histogram.
-SplitDecision best_split_for_feature(std::span<const double> hist_sum,
-                                     std::span<const std::int32_t> hist_cnt,
-                                     double total_sum, std::int64_t total_cnt,
-                                     std::int32_t feature,
-                                     const GBDTConfig& cfg) {
+/// Shrunk mean residual; the single definition both engines share, so leaf
+/// values are bitwise identical.
+double leaf_value(std::int64_t total_q, std::int64_t total_cnt, double inv_scale,
+                  const GBDTConfig& cfg) {
+  return (static_cast<double>(total_q) * inv_scale) /
+         (static_cast<double>(total_cnt) + cfg.lambda);
+}
+
+/// Best split for one feature from its gradient histogram, generic over the
+/// bucket representation: `bucket(b)` returns the exact (sum_q, count) of
+/// bin b. One implementation serves both engines, so identical (exact)
+/// histograms give identical decisions by construction.
+template <typename BucketFn>
+SplitDecision best_split_scan(BucketFn&& bucket, int n_bins,
+                              std::int64_t total_q, std::int64_t total_cnt,
+                              double inv_scale, std::int32_t feature,
+                              const GBDTConfig& cfg) {
   SplitDecision best;
+  const double total_sum = static_cast<double>(total_q) * inv_scale;
   const double parent_score =
       total_sum * total_sum / (static_cast<double>(total_cnt) + cfg.lambda);
-  double left_sum = 0.0;
+  std::int64_t left_q = 0;
   std::int64_t left_cnt = 0;
-  for (std::size_t b = 0; b + 1 < hist_cnt.size(); ++b) {
-    left_sum += hist_sum[b];
-    left_cnt += hist_cnt[b];
+  for (int b = 0; b + 1 < n_bins; ++b) {
+    const auto [sum_q, count] = bucket(b);
+    left_q += sum_q;
+    left_cnt += count;
     const std::int64_t right_cnt = total_cnt - left_cnt;
     if (left_cnt < cfg.min_samples_leaf) continue;
     if (right_cnt < cfg.min_samples_leaf) break;
-    const double right_sum = total_sum - left_sum;
+    const double left_sum = static_cast<double>(left_q) * inv_scale;
+    const double right_sum = static_cast<double>(total_q - left_q) * inv_scale;
     const double score =
         left_sum * left_sum / (static_cast<double>(left_cnt) + cfg.lambda) +
         right_sum * right_sum / (static_cast<double>(right_cnt) + cfg.lambda);
@@ -97,98 +127,388 @@ SplitDecision best_split_for_feature(std::span<const double> hist_sum,
     if (gain > best.gain) {
       best.gain = gain;
       best.feature = feature;
-      best.bin = static_cast<int>(b);
+      best.bin = b;
+      best.left_q = left_q;
+      best.left_cnt = left_cnt;
     }
   }
   return best;
 }
 
-}  // namespace
-
-std::int32_t RegressionTree::build(std::span<const std::uint8_t> bins,
-                                   std::size_t n_rows, const FeatureBinner& binner,
-                                   std::span<const double> residuals,
-                                   std::span<std::uint32_t> rows, int depth,
-                                   const GBDTConfig& cfg) {
-  const auto node_id = static_cast<std::int32_t>(nodes_.size());
-  nodes_.emplace_back();
-
-  double total_sum = 0.0;
-  for (std::uint32_t r : rows) total_sum += residuals[r];
-  const auto total_cnt = static_cast<std::int64_t>(rows.size());
-
-  auto make_leaf = [&] {
-    nodes_[static_cast<std::size_t>(node_id)].value =
-        total_sum / (static_cast<double>(total_cnt) + cfg.lambda);
-    return node_id;
-  };
-
-  if (depth >= cfg.max_depth ||
-      total_cnt < 2 * static_cast<std::int64_t>(cfg.min_samples_leaf)) {
-    return make_leaf();
-  }
-
-  // Per-feature gradient histograms; parallel across features for big nodes.
-  const std::size_t p = binner.features();
-  std::vector<SplitDecision> decisions(p);
-  const auto eval_feature = [&](std::size_t f) {
-    const int n_bins = binner.bins(f);
-    std::vector<double> hist_sum(static_cast<std::size_t>(n_bins), 0.0);
-    std::vector<std::int32_t> hist_cnt(static_cast<std::size_t>(n_bins), 0);
-    const std::uint8_t* col = bins.data() + f * n_rows;
-    for (std::uint32_t r : rows) {
-      const std::uint8_t b = col[r];
-      hist_sum[b] += residuals[r];
-      ++hist_cnt[b];
-    }
-    decisions[f] = best_split_for_feature(hist_sum, hist_cnt, total_sum,
-                                          total_cnt, static_cast<std::int32_t>(f),
-                                          cfg);
-  };
-  if (rows.size() >= 20'000 && p >= 4) {
-    parallel_for(0, p, eval_feature, /*grain=*/1);
-  } else {
-    for (std::size_t f = 0; f < p; ++f) eval_feature(f);
-  }
-
-  SplitDecision best;
-  for (const auto& d : decisions) {
-    if (d.gain > best.gain) best = d;
-  }
-  if (best.feature < 0 || best.gain <= 1e-12) return make_leaf();
-
-  const std::uint8_t* col =
-      bins.data() + static_cast<std::size_t>(best.feature) * n_rows;
-  const auto mid = std::partition(rows.begin(), rows.end(), [&](std::uint32_t r) {
-    return col[r] <= best.bin;
-  });
-  const auto left_rows = rows.subspan(0, static_cast<std::size_t>(mid - rows.begin()));
-  const auto right_rows = rows.subspan(static_cast<std::size_t>(mid - rows.begin()));
-  if (left_rows.empty() || right_rows.empty()) return make_leaf();
-
-  {
-    auto& node = nodes_[static_cast<std::size_t>(node_id)];
-    node.feature = best.feature;
-    node.threshold = binner.edge(static_cast<std::size_t>(best.feature), best.bin);
-    node.gain = best.gain;
-  }
-  const std::int32_t left =
-      build(bins, n_rows, binner, residuals, left_rows, depth + 1, cfg);
-  const std::int32_t right =
-      build(bins, n_rows, binner, residuals, right_rows, depth + 1, cfg);
-  auto& node = nodes_[static_cast<std::size_t>(node_id)];
-  node.left = left;
-  node.right = right;
-  return node_id;
+/// Reference-engine view: separate sum/count arrays.
+SplitDecision best_split_for_feature(const std::int64_t* hist_sum,
+                                     const std::int64_t* hist_cnt, int n_bins,
+                                     std::int64_t total_q, std::int64_t total_cnt,
+                                     double inv_scale, std::int32_t feature,
+                                     const GBDTConfig& cfg) {
+  return best_split_scan(
+      [&](int b) { return std::pair(hist_sum[b], hist_cnt[b]); }, n_bins,
+      total_q, total_cnt, inv_scale, feature, cfg);
 }
 
-void RegressionTree::fit(std::span<const std::uint8_t> bins, std::size_t n_rows,
-                         const FeatureBinner& binner,
-                         std::span<const double> residuals,
-                         std::vector<std::uint32_t> rows, const GBDTConfig& cfg) {
+/// Histogram-engine view: packed single-int64 buckets.
+SplitDecision best_split_packed(const std::int64_t* hist, int n_bins,
+                                std::int64_t total_q, std::int64_t total_cnt,
+                                double inv_scale, std::int32_t feature,
+                                const GBDTConfig& cfg) {
+  return best_split_scan(
+      [&](int b) { return std::pair(packed_sum(hist[b]), packed_count(hist[b])); },
+      n_bins, total_q, total_cnt, inv_scale, feature, cfg);
+}
+
+/// Retained reference trainer: per-node histograms rebuilt from scratch over
+/// the node's rows, feature-outer over a column-major matrix, serial — the
+/// pre-histogram-engine algorithm, kept as the parity and benchmark baseline.
+struct ReferenceBuilder {
+  const BinnedMatrix& x;
+  const FeatureBinner& binner;
+  std::span<const std::int32_t> grad;
+  double inv_scale;
+  const GBDTConfig& cfg;
+  std::vector<RegressionTree::Node>& nodes;
+  std::span<std::int32_t> leaf_of;
+  std::vector<std::int64_t> hist_sum;  // reused across features/nodes
+  std::vector<std::int64_t> hist_cnt;
+
+  std::int32_t build(std::span<std::uint32_t> rows, int depth) {
+    const auto node_id = static_cast<std::int32_t>(nodes.size());
+    nodes.emplace_back();
+
+    std::int64_t total_q = 0;
+    for (const std::uint32_t r : rows) total_q += grad[r];
+    const auto total_cnt = static_cast<std::int64_t>(rows.size());
+
+    auto make_leaf = [&] {
+      nodes[static_cast<std::size_t>(node_id)].value =
+          leaf_value(total_q, total_cnt, inv_scale, cfg);
+      for (const std::uint32_t r : rows) leaf_of[r] = node_id;
+      return node_id;
+    };
+
+    if (depth >= cfg.max_depth ||
+        total_cnt < 2 * static_cast<std::int64_t>(cfg.min_samples_leaf)) {
+      return make_leaf();
+    }
+
+    SplitDecision best;
+    for (std::size_t f = 0; f < x.features; ++f) {
+      const int n_bins = binner.bins(f);
+      hist_sum.assign(static_cast<std::size_t>(n_bins), 0);
+      hist_cnt.assign(static_cast<std::size_t>(n_bins), 0);
+      const std::uint8_t* col = x.col(f);
+      for (const std::uint32_t r : rows) {
+        hist_sum[col[r]] += grad[r];
+        ++hist_cnt[col[r]];
+      }
+      const SplitDecision d = best_split_for_feature(
+          hist_sum.data(), hist_cnt.data(), n_bins, total_q, total_cnt,
+          inv_scale, static_cast<std::int32_t>(f), cfg);
+      if (d.gain > best.gain) best = d;
+    }
+    if (best.feature < 0 || best.gain <= 1e-12) return make_leaf();
+
+    const std::uint8_t* col = x.col(static_cast<std::size_t>(best.feature));
+    const auto mid = std::partition(rows.begin(), rows.end(), [&](std::uint32_t r) {
+      return col[r] <= best.bin;
+    });
+    const auto n_left = static_cast<std::size_t>(mid - rows.begin());
+    const auto left_rows = rows.subspan(0, n_left);
+    const auto right_rows = rows.subspan(n_left);
+    if (left_rows.empty() || right_rows.empty()) return make_leaf();
+
+    {
+      auto& node = nodes[static_cast<std::size_t>(node_id)];
+      node.feature = best.feature;
+      node.split_bin = best.bin;
+      node.threshold = binner.edge(static_cast<std::size_t>(best.feature), best.bin);
+      node.gain = best.gain;
+    }
+    const std::int32_t left = build(left_rows, depth + 1);
+    const std::int32_t right = build(right_rows, depth + 1);
+    auto& node = nodes[static_cast<std::size_t>(node_id)];
+    node.left = left;
+    node.right = right;
+    return node_id;
+  }
+};
+
+/// Histogram engine: persistent row sets partitioned in place over a
+/// row-major binned matrix (a row's features are adjacent bytes, so each row
+/// costs 1-2 cache lines), packed single-int64 buckets, row-parallel
+/// accumulation into per-chunk buffers merged in chunk order on the shared
+/// pool, and the sibling-subtraction trick — only the smaller child scans
+/// its rows; the larger child's histogram is parent minus sibling, exact in
+/// int64.
+struct HistogramBuilder {
+  const BinnedMatrix& x;
+  const FeatureBinner& binner;
+  std::span<const std::int32_t> grad;
+  double inv_scale;
+  const GBDTConfig& cfg;
+  std::vector<RegressionTree::Node>& nodes;
+  std::span<std::int32_t> leaf_of;
+
+  std::size_t p = 0;
+  int total_bins = 0;
+  std::vector<int> offset;             // per-feature slice into a histogram
+  // Freed node histograms for reuse (allocating + zeroing ~9KB per node adds
+  // up over thousands of nodes per fit).
+  std::vector<std::vector<std::int64_t>> hist_pool;
+
+  void init() {
+    p = x.features;
+    offset.resize(p);
+    total_bins = 0;
+    for (std::size_t f = 0; f < p; ++f) {
+      offset[f] = total_bins;
+      total_bins += binner.bins(f);
+    }
+  }
+
+  [[nodiscard]] std::vector<std::int64_t> take_buffer(std::size_t size) {
+    if (hist_pool.empty()) return std::vector<std::int64_t>(size, 0);
+    std::vector<std::int64_t> h = std::move(hist_pool.back());
+    hist_pool.pop_back();
+    h.assign(size, 0);
+    return h;
+  }
+  void recycle(std::vector<std::int64_t>&& h) {
+    if (!h.empty()) hist_pool.push_back(std::move(h));
+  }
+
+  [[nodiscard]] std::vector<std::int64_t> build_hist(
+      std::span<const std::uint32_t> rows) {
+    // Buffer recycling is only safe when accumulate runs on this thread: a
+    // 1-thread pool, or a node small enough that parallel_map_reduce stays
+    // single-chunk (rows <= grain) and therefore inline. Multi-threaded
+    // chunks allocate their own.
+    const bool pooled =
+        global_pool().thread_count() <= 1 || rows.size() <= kHistGrain;
+    const auto accumulate = [&](std::size_t lo, std::size_t hi) {
+      // Two arenas, alternating rows: consecutive rows that hit the same
+      // bucket would otherwise serialize on the store-to-load forward of one
+      // int64 — skewed (categorical-like) features do this constantly. The
+      // arenas merge exactly (integer adds), so parity is unaffected. The
+      // uint16 global plane folds the per-feature histogram offset into the
+      // matrix itself: one indexed add per cell.
+      const auto nb = static_cast<std::size_t>(total_bins);
+      std::vector<std::int64_t> h = pooled
+                                        ? take_buffer(2 * nb)
+                                        : std::vector<std::int64_t>(2 * nb, 0);
+      std::int64_t* h0 = h.data();
+      std::int64_t* h1 = h.data() + nb;
+      if (x.global.empty()) {
+        // Generic fallback (> 64k total bins): uint8 bins + explicit offsets.
+        const int* off = offset.data();
+        for (std::size_t k = lo; k < hi; ++k) {
+          const std::uint8_t* rb = x.bins.data() + rows[k] * p;
+          const std::int64_t gp =
+            (static_cast<std::int64_t>(grad[rows[k]]) << kCountBits) | 1;
+          for (std::size_t f = 0; f < p; ++f) {
+            h0[static_cast<std::size_t>(off[f]) + rb[f]] += gp;
+          }
+        }
+        h.resize(nb);
+        return h;
+      }
+      const std::uint16_t* gbins = x.global.data();
+      std::size_t k = lo;
+      for (; k + 1 < hi; k += 2) {
+        const std::size_t r0 = rows[k];
+        const std::size_t r1 = rows[k + 1];
+        const std::uint16_t* rb0 = gbins + r0 * p;
+        const std::uint16_t* rb1 = gbins + r1 * p;
+        const std::int64_t g0 = (static_cast<std::int64_t>(grad[r0]) << kCountBits) | 1;
+        const std::int64_t g1 = (static_cast<std::int64_t>(grad[r1]) << kCountBits) | 1;
+        std::size_t f = 0;
+        for (; f + 2 <= p; f += 2) {
+          h0[rb0[f]] += g0;
+          h1[rb1[f]] += g1;
+          h0[rb0[f + 1]] += g0;
+          h1[rb1[f + 1]] += g1;
+        }
+        for (; f < p; ++f) {
+          h0[rb0[f]] += g0;
+          h1[rb1[f]] += g1;
+        }
+      }
+      for (; k < hi; ++k) {
+        const std::uint16_t* rb = gbins + rows[k] * p;
+        const std::int64_t gp =
+            (static_cast<std::int64_t>(grad[rows[k]]) << kCountBits) | 1;
+        for (std::size_t f = 0; f < p; ++f) h0[rb[f]] += gp;
+      }
+      for (std::size_t b = 0; b < nb; ++b) h0[b] += h1[b];
+      h.resize(nb);
+      return h;
+    };
+    // int64 buckets merge exactly in any order, so per-chunk buffers built
+    // concurrently and folded in chunk order equal the serial accumulation.
+    return parallel_map_reduce<std::vector<std::int64_t>>(
+        0, rows.size(), kHistGrain, accumulate,
+        [](std::vector<std::int64_t>& acc, std::vector<std::int64_t>&& part) {
+          for (std::size_t b = 0; b < acc.size(); ++b) acc[b] += part[b];
+        });
+  }
+
+  std::int32_t build(std::span<std::uint32_t> rows, std::vector<std::int64_t> hist,
+                     std::int64_t total_q, int depth) {
+    const auto node_id = static_cast<std::int32_t>(nodes.size());
+    nodes.emplace_back();
+    const auto total_cnt = static_cast<std::int64_t>(rows.size());
+
+    auto make_leaf = [&] {
+      nodes[static_cast<std::size_t>(node_id)].value =
+          leaf_value(total_q, total_cnt, inv_scale, cfg);
+      for (const std::uint32_t r : rows) leaf_of[r] = node_id;
+      return node_id;
+    };
+
+    if (depth >= cfg.max_depth ||
+        total_cnt < 2 * static_cast<std::int64_t>(cfg.min_samples_leaf)) {
+      recycle(std::move(hist));
+      return make_leaf();
+    }
+
+    SplitDecision best;
+    for (std::size_t f = 0; f < p; ++f) {
+      const SplitDecision d = best_split_packed(
+          hist.data() + offset[f], binner.bins(f), total_q, total_cnt,
+          inv_scale, static_cast<std::int32_t>(f), cfg);
+      if (d.gain > best.gain) best = d;
+    }
+    if (best.feature < 0 || best.gain <= 1e-12) {
+      recycle(std::move(hist));
+      return make_leaf();
+    }
+
+    // The histogram counts are exact row counts, so the split sizes are
+    // known before touching a row. (A zero-sized side — possible only with
+    // min_samples_leaf == 0 — leafs out exactly like the reference's
+    // post-partition guard.)
+    const std::size_t n_left = static_cast<std::size_t>(best.left_cnt);
+    if (n_left == 0 || n_left == rows.size()) {
+      recycle(std::move(hist));
+      return make_leaf();
+    }
+
+    // Stable branchless split: one store per row at an arithmetically
+    // selected cursor instead of std::partition's 50/50-mispredicted branch
+    // and swaps (a ternary select here compiles to exactly that branch).
+    // Stability keeps every node's row list sorted ascending, which keeps
+    // the child histogram gathers prefetch-friendly. Row order never affects
+    // results (int64 histograms are order-exact), only speed.
+    const std::size_t split_col = static_cast<std::size_t>(best.feature);
+    {
+      thread_local std::vector<std::uint32_t> split_tmp;
+      split_tmp.resize(rows.size());
+      const std::uint8_t* bins = x.bins.data();
+      std::size_t li = 0;
+      std::size_t ri = n_left;
+      for (const std::uint32_t r : rows) {
+        const auto go_right = static_cast<std::size_t>(
+            bins[static_cast<std::size_t>(r) * p + split_col] > best.bin);
+        split_tmp[li + go_right * (ri - li)] = r;
+        ri += go_right;
+        li += 1 - go_right;
+      }
+      std::copy(split_tmp.begin(), split_tmp.end(), rows.begin());
+    }
+    const auto left_rows = rows.subspan(0, n_left);
+    const auto right_rows = rows.subspan(n_left);
+
+    {
+      auto& node = nodes[static_cast<std::size_t>(node_id)];
+      node.feature = best.feature;
+      node.split_bin = best.bin;
+      node.threshold = binner.edge(split_col, best.bin);
+      node.gain = best.gain;
+    }
+
+    const std::int64_t right_q = total_q - best.left_q;
+    // A child only needs a histogram if it will attempt a split itself (the
+    // entry checks of the recursive call). Skipping the build for leaf-only
+    // children drops the entire last tree level's histogram work.
+    const auto will_split = [&](std::size_t n_rows) {
+      return depth + 1 < cfg.max_depth &&
+             static_cast<std::int64_t>(n_rows) >=
+                 2 * static_cast<std::int64_t>(cfg.min_samples_leaf);
+    };
+    std::vector<std::int64_t> left_hist;
+    std::vector<std::int64_t> right_hist;
+    if (will_split(left_rows.size()) || will_split(right_rows.size())) {
+      // Build the smaller child's histogram; the larger child's is the
+      // parent's minus the sibling's, exact in int64.
+      if (left_rows.size() <= right_rows.size()) {
+        left_hist = build_hist(left_rows);
+        right_hist = std::move(hist);
+        subtract(right_hist, left_hist);
+      } else {
+        right_hist = build_hist(right_rows);
+        left_hist = std::move(hist);
+        subtract(left_hist, right_hist);
+      }
+    } else {
+      recycle(std::move(hist));
+    }
+    const std::int32_t left =
+        build(left_rows, std::move(left_hist), best.left_q, depth + 1);
+    const std::int32_t right =
+        build(right_rows, std::move(right_hist), right_q, depth + 1);
+    auto& node = nodes[static_cast<std::size_t>(node_id)];
+    node.left = left;
+    node.right = right;
+    return node_id;
+  }
+
+  static void subtract(std::vector<std::int64_t>& parent,
+                       const std::vector<std::int64_t>& child) {
+    for (std::size_t b = 0; b < parent.size(); ++b) parent[b] -= child[b];
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RegressionTree
+// ---------------------------------------------------------------------------
+
+void RegressionTree::fit(const BinnedMatrix& x, const FeatureBinner& binner,
+                         const QuantizedGradients& grad,
+                         std::span<std::uint32_t> rows,
+                         std::span<std::int32_t> leaf_of, const GBDTConfig& cfg) {
   nodes_.clear();
   if (rows.empty()) return;
-  build(bins, n_rows, binner, residuals, rows, 0, cfg);
+  // Each engine consumes its own layout (see BinLayout).
+  assert(x.layout == (cfg.engine == GBDTEngine::kReference
+                          ? BinLayout::kColumnMajor
+                          : BinLayout::kRowMajor));
+  if (cfg.engine == GBDTEngine::kReference) {
+    ReferenceBuilder builder{x,  binner,  grad.q, grad.inv_scale,
+                             cfg, nodes_, leaf_of, {},
+                             {}};
+    builder.build(rows, 0);
+    return;
+  }
+  HistogramBuilder builder{x,  binner,  grad.q, grad.inv_scale,
+                           cfg, nodes_, leaf_of};
+  builder.init();
+  const bool root_splits =
+      cfg.max_depth > 0 &&
+      rows.size() >= static_cast<std::size_t>(2 * cfg.min_samples_leaf);
+  std::vector<std::int64_t> root_hist;
+  if (root_splits) root_hist = builder.build_hist(rows);
+  std::int64_t total_q = 0;
+  if (!root_hist.empty() && builder.p > 0) {
+    // Feature 0's slice counts every row exactly once: its packed sums add
+    // up to the root gradient total, saving the row scan.
+    for (int b = 0; b < binner.bins(0); ++b) {
+      total_q += packed_sum(root_hist[static_cast<std::size_t>(b)]);
+    }
+  } else {
+    for (const std::uint32_t r : rows) total_q += grad.q[r];
+  }
+  builder.build(rows, std::move(root_hist), total_q, 0);
 }
 
 double RegressionTree::predict(std::span<const double> features) const noexcept {
@@ -202,6 +522,18 @@ double RegressionTree::predict(std::span<const double> features) const noexcept 
   }
 }
 
+std::int32_t RegressionTree::leaf_for_binned(const BinnedMatrix& x,
+                                             std::size_t row) const noexcept {
+  assert(x.layout == BinLayout::kRowMajor);
+  const std::uint8_t* rb = x.bins.data() + row * x.features;
+  std::int32_t i = 0;
+  for (;;) {
+    const Node& n = nodes_[static_cast<std::size_t>(i)];
+    if (n.feature < 0) return i;
+    i = rb[static_cast<std::size_t>(n.feature)] <= n.split_bin ? n.left : n.right;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // GBDTRegressor
 // ---------------------------------------------------------------------------
@@ -211,6 +543,7 @@ void GBDTRegressor::fit(const Dataset& full_data) {
   train_rmse_.clear();
   n_features_ = full_data.features();
   base_prediction_ = 0.0;
+  binner_ = FeatureBinner();
   if (full_data.empty()) return;
 
   Rng rng(config_.seed);
@@ -229,60 +562,149 @@ void GBDTRegressor::fit(const Dataset& full_data) {
     data = &capped;
   }
   const std::size_t n = data->rows();
+  // The Bernoulli cap can reject every row of a tiny input; without this
+  // guard the mean below would be 0/0 and every prediction NaN.
+  if (n == 0) return;
+
+  // The packed histogram buckets carry a 24-bit row count; beyond that the
+  // reference engine (two-field buckets) takes over. 16.7M rows in a single
+  // uncapped fit is far past every in-tree workload.
+  GBDTConfig cfg = config_;
+  if (cfg.engine == GBDTEngine::kHistogram && n >= kPackedRowLimit) {
+    cfg.engine = GBDTEngine::kReference;
+  }
 
   double mean = 0.0;
   for (std::size_t r = 0; r < n; ++r) mean += data->target(r);
   base_prediction_ = mean / static_cast<double>(n);
 
-  FeatureBinner binner;
-  binner.fit(*data, config_.max_bins, rng);
-
-  // Column-major binned matrix.
-  std::vector<std::uint8_t> bins(n * n_features_);
-  parallel_for_chunks(0, n_features_, [&](std::size_t f_lo, std::size_t f_hi) {
-    for (std::size_t f = f_lo; f < f_hi; ++f) {
-      std::uint8_t* col = bins.data() + f * n;
-      for (std::size_t r = 0; r < n; ++r) col[r] = binner.bin(f, data->at(r, f));
-    }
-  }, /*grain=*/1);
+  binner_.fit(*data, cfg.max_bins, rng);
+  const BinnedMatrix binned =
+      bin_dataset(*data, binner_,
+                  cfg.engine == GBDTEngine::kReference ? BinLayout::kColumnMajor
+                                                       : BinLayout::kRowMajor);
 
   std::vector<double> prediction(n, base_prediction_);
   std::vector<double> residuals(n, 0.0);
+  std::vector<std::int32_t> leaf_of(n, -1);
+  // Per-tree scratch reused across iterations (fresh vectors would fault in
+  // hundreds of pages per tree).
+  std::vector<std::uint32_t> rows(n);
+  QuantizedGradients grad;
 
-  trees_.reserve(static_cast<std::size_t>(config_.n_trees));
-  for (int t = 0; t < config_.n_trees; ++t) {
+  trees_.reserve(static_cast<std::size_t>(cfg.n_trees));
+  // Histogram engine: the previous tree's prediction update is fused into
+  // this iteration's residual pass (one sweep instead of two; the final
+  // tree's update feeds nothing and is skipped). The per-element arithmetic
+  // and order are unchanged, so residuals and RMSE are bitwise identical to
+  // the separate passes. With a multi-thread pool the update runs as its own
+  // row-parallel pass instead (same elementwise ops, same results) so it can
+  // use the pool; the RMSE reduction stays serial either way to keep its
+  // summation order fixed.
+  const RegressionTree* fused_update = nullptr;
+  const bool fuse_update = cfg.engine == GBDTEngine::kHistogram &&
+                           global_pool().thread_count() <= 1;
+  for (int t = 0; t < cfg.n_trees; ++t) {
     double sq = 0.0;
-    for (std::size_t r = 0; r < n; ++r) {
-      residuals[r] = data->target(r) - prediction[r];
-      sq += residuals[r] * residuals[r];
+    double max_abs = 0.0;
+    // Histogram engine: the row subsample rides in the same sweep (the
+    // Bernoulli draws happen once per row in ascending order either way, so
+    // the RNG stream and the chosen rows are identical to a separate pass).
+    const bool fuse_sample =
+        cfg.engine == GBDTEngine::kHistogram && cfg.subsample < 1.0;
+    std::size_t taken = 0;
+    if (fuse_sample) rows.resize(n);
+    if (fused_update != nullptr) {
+      const auto& prev_nodes = fused_update->nodes();
+      for (std::size_t r = 0; r < n; ++r) {
+        std::int32_t leaf = leaf_of[r];
+        if (leaf < 0) leaf = fused_update->leaf_for_binned(binned, r);
+        prediction[r] +=
+            cfg.learning_rate * prev_nodes[static_cast<std::size_t>(leaf)].value;
+        residuals[r] = data->target(r) - prediction[r];
+        sq += residuals[r] * residuals[r];
+        max_abs = std::max(max_abs, std::fabs(residuals[r]));
+        if (fuse_sample) {
+          rows[taken] = static_cast<std::uint32_t>(r);
+          taken += rng.bernoulli(cfg.subsample) ? 1 : 0;
+        }
+      }
+      fused_update = nullptr;
+    } else {
+      for (std::size_t r = 0; r < n; ++r) {
+        residuals[r] = data->target(r) - prediction[r];
+        sq += residuals[r] * residuals[r];
+        max_abs = std::max(max_abs, std::fabs(residuals[r]));
+        if (fuse_sample) {
+          rows[taken] = static_cast<std::uint32_t>(r);
+          taken += rng.bernoulli(cfg.subsample) ? 1 : 0;
+        }
+      }
     }
     train_rmse_.push_back(std::sqrt(sq / static_cast<double>(n)));
 
-    std::vector<std::uint32_t> rows;
-    rows.reserve(n);
-    for (std::size_t r = 0; r < n; ++r) {
-      if (config_.subsample >= 1.0 || rng.bernoulli(config_.subsample)) {
-        rows.push_back(static_cast<std::uint32_t>(r));
+    if (fuse_sample) {
+      rows.resize(taken);
+    } else if (cfg.subsample >= 1.0) {
+      taken = n;
+      rows.resize(n);
+      std::iota(rows.begin(), rows.end(), 0);
+    } else {
+      // Reference engine: retained separate subsampling pass. Branchless
+      // take — same Bernoulli stream and row set as the naive push_back
+      // loop, without its mispredicted branch.
+      rows.resize(n);
+      taken = 0;
+      for (std::size_t r = 0; r < n; ++r) {
+        rows[taken] = static_cast<std::uint32_t>(r);
+        taken += rng.bernoulli(cfg.subsample) ? 1 : 0;
       }
+      rows.resize(taken);
     }
-    if (rows.size() < static_cast<std::size_t>(2 * config_.min_samples_leaf)) break;
+    if (taken < static_cast<std::size_t>(2 * cfg.min_samples_leaf)) break;
 
+    grad.assign(residuals, max_abs);
+    std::fill(leaf_of.begin(), leaf_of.end(), -1);
     RegressionTree tree;
-    tree.fit(bins, n, binner, residuals, std::move(rows), config_);
+    tree.fit(binned, binner_, grad, rows, leaf_of, cfg);
     if (tree.empty()) break;
 
-    // Update predictions with the shrunk tree output. Walking the binned
-    // matrix directly avoids re-binning raw features.
-    for (std::size_t r = 0; r < n; ++r) {
-      std::int32_t i = 0;
-      const auto& nodes = tree.nodes();
-      while (nodes[static_cast<std::size_t>(i)].feature >= 0) {
-        const auto& node = nodes[static_cast<std::size_t>(i)];
-        const double v = data->at(r, static_cast<std::size_t>(node.feature));
-        i = v <= node.threshold ? node.left : node.right;
+    const auto& nodes = tree.nodes();
+    if (cfg.engine == GBDTEngine::kReference) {
+      // Retained pre-histogram-engine update: re-traverse raw features per
+      // row. Lands in the same leaf as the binned walk (bin <= split_bin iff
+      // value <= threshold), so both engines update predictions bitwise
+      // identically.
+      for (std::size_t r = 0; r < n; ++r) {
+        std::int32_t i = 0;
+        while (nodes[static_cast<std::size_t>(i)].feature >= 0) {
+          const auto& node = nodes[static_cast<std::size_t>(i)];
+          const double v = data->at(r, static_cast<std::size_t>(node.feature));
+          i = v <= node.threshold ? node.left : node.right;
+        }
+        prediction[r] +=
+            cfg.learning_rate * nodes[static_cast<std::size_t>(i)].value;
       }
-      prediction[r] +=
-          config_.learning_rate * nodes[static_cast<std::size_t>(i)].value;
+    } else if (fuse_update) {
+      // Applied lazily at the top of the next iteration (fused with the
+      // residual pass); leaf_of stays valid until then.
+      trees_.push_back(std::move(tree));
+      fused_update = &trees_.back();
+      continue;
+    } else {
+      // Sampled rows had their leaf recorded during construction; only
+      // out-of-sample rows walk the tree, and they walk the binned matrix.
+      parallel_for_chunks(
+          0, n,
+          [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t r = lo; r < hi; ++r) {
+              std::int32_t leaf = leaf_of[r];
+              if (leaf < 0) leaf = tree.leaf_for_binned(binned, r);
+              prediction[r] += cfg.learning_rate *
+                               nodes[static_cast<std::size_t>(leaf)].value;
+            }
+          },
+          /*grain=*/8192);
     }
     trees_.push_back(std::move(tree));
   }
@@ -297,10 +719,25 @@ double GBDTRegressor::predict(std::span<const double> features) const noexcept {
 }
 
 std::vector<double> GBDTRegressor::predict_many(const Dataset& data) const {
-  std::vector<double> out(data.rows());
-  parallel_for_chunks(0, data.rows(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t r = lo; r < hi; ++r) out[r] = predict(data.row(r));
-  }, /*grain=*/4096);
+  std::vector<double> out(data.rows(), base_prediction_);
+  if (data.empty() || trees_.empty()) return out;
+  const BinnedMatrix binned = bin_dataset(data, binner_, BinLayout::kRowMajor);
+  parallel_for_chunks(
+      0, data.rows(),
+      [&](std::size_t lo, std::size_t hi) {
+        // Tree-at-a-time within the chunk keeps each tree's nodes hot; the
+        // per-row accumulation order over trees matches predict(), so the
+        // results are bitwise identical to the per-row path.
+        for (const auto& tree : trees_) {
+          const auto& nodes = tree.nodes();
+          for (std::size_t r = lo; r < hi; ++r) {
+            const auto leaf =
+                static_cast<std::size_t>(tree.leaf_for_binned(binned, r));
+            out[r] += config_.learning_rate * nodes[leaf].value;
+          }
+        }
+      },
+      /*grain=*/4096);
   return out;
 }
 

@@ -2,11 +2,29 @@
 // squared loss) — the library's stand-in for LightGBM, which the paper uses
 // for both the QSSF duration model and the CES node forecaster.
 //
-// Training follows the standard histogram algorithm: features are quantile-
-// binned once (<= max_bins buckets); each tree level builds per-feature
-// gradient histograms over the node's rows and picks the split with the best
-// variance gain; leaves output the shrunk mean residual. Row subsampling per
-// tree gives stochastic boosting.
+// Training follows the histogram algorithm: features are quantile-binned once
+// (<= max_bins buckets); each tree picks splits from per-feature gradient
+// histograms by best variance gain; leaves output the shrunk mean residual.
+// Row subsampling per tree gives stochastic boosting.
+//
+// Two engines share the scaffolding (binning, row caps, subsampling,
+// residuals — identical RNG streams) and must produce bit-identical models:
+//
+//  * GBDTEngine::kHistogram (default) keeps persistent per-node row sets,
+//    builds only the smaller child's histograms and derives the sibling by
+//    subtracting from the parent, accumulates histograms row-parallel into
+//    per-chunk buffers merged on the shared ThreadPool, and tracks each
+//    sampled row's leaf during construction so the per-tree prediction
+//    update is an O(1) lookup per row over the binned matrix.
+//  * GBDTEngine::kReference retains the straightforward pre-histogram-engine
+//    trainer: every node rebuilds its histograms from scratch and the
+//    prediction update re-traverses raw features row by row. It exists as
+//    the parity baseline (mirroring sim::SimExecution::kSerial).
+//
+// Bit-for-bit parity across engines and thread counts is possible because
+// per-tree gradients are quantized to int64 (QuantizedGradients): integer
+// histogram sums are exact under any accumulation order and under sibling
+// subtraction, so split decisions and leaf values cannot drift.
 #pragma once
 
 #include <cstdint>
@@ -17,28 +35,9 @@
 
 namespace helios::ml {
 
-/// Per-feature quantile binning. Bin ids are 0..bins-1; values above the
-/// last edge fall in the last bin.
-class FeatureBinner {
- public:
-  FeatureBinner() = default;
-
-  /// Compute at most `max_bins` bins per feature from (a sample of) `data`.
-  void fit(const Dataset& data, int max_bins, Rng& rng);
-
-  [[nodiscard]] std::uint8_t bin(std::size_t feature, double value) const noexcept;
-  [[nodiscard]] int bins(std::size_t feature) const noexcept {
-    return static_cast<int>(edges_[feature].size()) + 1;
-  }
-  [[nodiscard]] std::size_t features() const noexcept { return edges_.size(); }
-  /// Upper edge of `bin` (the split threshold "value <= edge"); bin must be
-  /// < bins(feature) - 1.
-  [[nodiscard]] double edge(std::size_t feature, int bin) const noexcept {
-    return edges_[feature][static_cast<std::size_t>(bin)];
-  }
-
- private:
-  std::vector<std::vector<double>> edges_;  // sorted strict upper edges
+enum class GBDTEngine {
+  kHistogram,  ///< sibling-subtraction histogram engine (default)
+  kReference,  ///< retained from-scratch trainer (parity/benchmark baseline)
 };
 
 struct GBDTConfig {
@@ -47,11 +46,35 @@ struct GBDTConfig {
   double learning_rate = 0.10;
   int min_samples_leaf = 20;
   double subsample = 0.8;   ///< row fraction per tree
-  int max_bins = 64;
+  int max_bins = 64;        ///< clamped to 256 (bin ids travel as uint8)
   double lambda = 1.0;      ///< L2 regularisation on leaf values
   std::uint64_t seed = 42;
   /// Cap on training rows (uniform subsample above it); 0 = no cap.
   std::size_t max_training_rows = 0;
+  GBDTEngine engine = GBDTEngine::kHistogram;
+};
+
+/// Per-tree gradients quantized to a fixed-point int64 grid. The scale is a
+/// power of two chosen so the sum over every training row cannot overflow;
+/// int64 histogram sums are then exact and order-independent, which is what
+/// makes engine/thread-count parity bit-for-bit instead of approximate.
+struct QuantizedGradients {
+  /// Per-row quantized gradient; fits int32 by construction (the scale caps
+  /// |q| below 2^30), halving the memory traffic of every histogram pass.
+  std::vector<std::int32_t> q;
+  double inv_scale = 1.0;  ///< exact power of two; value = q * inv_scale
+
+  /// Requantize in place (reuses the q buffer across boosting iterations).
+  void assign(std::span<const double> gradients);
+  /// Same, with max|gradient| already known (callers fuse the scan into the
+  /// residual pass).
+  void assign(std::span<const double> gradients, double max_abs);
+
+  [[nodiscard]] static QuantizedGradients from(std::span<const double> gradients) {
+    QuantizedGradients out;
+    out.assign(gradients);
+    return out;
+  }
 };
 
 /// One regression tree over binned features (used internally by the GBDT and
@@ -61,29 +84,33 @@ class RegressionTree {
   struct Node {
     // Leaf iff feature < 0.
     std::int32_t feature = -1;
-    double threshold = 0.0;  ///< go left iff value <= threshold (raw units)
+    std::int32_t split_bin = -1;  ///< go left iff bin(value) <= split_bin
+    double threshold = 0.0;  ///< raw-unit equivalent: go left iff value <= threshold
     std::int32_t left = -1;
     std::int32_t right = -1;
     double value = 0.0;  ///< leaf output
     double gain = 0.0;   ///< split gain (for feature importance)
   };
 
-  /// Fit to residuals[rows] using pre-binned columns (column-major bins,
-  /// bins[f * n_rows + r]).
-  void fit(std::span<const std::uint8_t> bins, std::size_t n_rows,
-           const FeatureBinner& binner, std::span<const double> residuals,
-           std::vector<std::uint32_t> rows, const GBDTConfig& cfg);
+  /// Fit to the quantized gradients of `rows` over the binned matrix
+  /// (row-major for kHistogram, column-major for kReference). `rows` is the
+  /// persistent row set, partitioned in place per node. `leaf_of` must have
+  /// X.rows entries; the leaf node id of every row in `rows` is recorded
+  /// there (other entries are left untouched).
+  void fit(const BinnedMatrix& x, const FeatureBinner& binner,
+           const QuantizedGradients& grad, std::span<std::uint32_t> rows,
+           std::span<std::int32_t> leaf_of, const GBDTConfig& cfg);
 
   [[nodiscard]] double predict(std::span<const double> features) const noexcept;
+  /// Leaf node id reached by binned traversal of `row` (exactly the leaf
+  /// predict() reaches on the raw values, since bin <= split_bin iff
+  /// value <= threshold).
+  [[nodiscard]] std::int32_t leaf_for_binned(const BinnedMatrix& x,
+                                             std::size_t row) const noexcept;
   [[nodiscard]] const std::vector<Node>& nodes() const noexcept { return nodes_; }
   [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
 
  private:
-  std::int32_t build(std::span<const std::uint8_t> bins, std::size_t n_rows,
-                     const FeatureBinner& binner, std::span<const double> residuals,
-                     std::span<std::uint32_t> rows, int depth,
-                     const GBDTConfig& cfg);
-
   std::vector<Node> nodes_;
 };
 
@@ -95,6 +122,8 @@ class GBDTRegressor {
   void fit(const Dataset& data);
 
   [[nodiscard]] double predict(std::span<const double> features) const noexcept;
+  /// Batched inference: bins `data` once and walks it tree-at-a-time,
+  /// row-parallel. Bitwise-identical to calling predict() per row.
   [[nodiscard]] std::vector<double> predict_many(const Dataset& data) const;
 
   /// Total split gain accumulated per feature.
@@ -107,11 +136,16 @@ class GBDTRegressor {
   [[nodiscard]] const GBDTConfig& config() const noexcept { return config_; }
   [[nodiscard]] bool trained() const noexcept { return !trees_.empty(); }
   [[nodiscard]] std::size_t tree_count() const noexcept { return trees_.size(); }
+  [[nodiscard]] const std::vector<RegressionTree>& trees() const noexcept {
+    return trees_;
+  }
+  [[nodiscard]] const FeatureBinner& binner() const noexcept { return binner_; }
 
  private:
   GBDTConfig config_;
   double base_prediction_ = 0.0;
   std::size_t n_features_ = 0;
+  FeatureBinner binner_;
   std::vector<RegressionTree> trees_;
   std::vector<double> train_rmse_;
 };

@@ -190,6 +190,106 @@ TEST(Gbdt, HandlesStepFunction) {
   EXPECT_NEAR(model.predict(p3), -2.0, 0.3);
 }
 
+TEST(FeatureBinner, ClampsBinBudgetToByteRange) {
+  // > 256 bins cannot be represented in a uint8 bin id; the budget used to
+  // wrap silently (bin 256 -> 0), scrambling splits. It must clamp instead.
+  Dataset d(1);
+  for (int i = 0; i < 3000; ++i) {
+    const double row[] = {static_cast<double>(i)};  // 3000 distinct values
+    d.add_row(row, 0.0);
+  }
+  Rng rng(3);
+  for (const int budget : {256, 257, 300, 100000}) {
+    FeatureBinner binner;
+    binner.fit(d, budget, rng);
+    ASSERT_LE(binner.bins(0), 256) << "budget " << budget;
+    // Monotone bin ids end-to-end: no wraparound anywhere in the range.
+    int prev = -1;
+    for (int i = 0; i < 3000; i += 7) {
+      const int b = binner.bin(0, static_cast<double>(i));
+      ASSERT_GE(b, prev);
+      prev = b;
+    }
+    ASSERT_EQ(prev, binner.bins(0) - 1);  // top value lands in the last bin
+  }
+  // The categorical one-bin-per-value path must clamp too: 500 distinct
+  // values with a 1000-bin budget used to yield 501 bins and wrap.
+  Dataset cat(1);
+  for (int i = 0; i < 500; ++i) {
+    const double row[] = {static_cast<double>(i)};
+    cat.add_row(row, 0.0);
+  }
+  FeatureBinner binner;
+  binner.fit(cat, 1000, rng);
+  EXPECT_LE(binner.bins(0), 256);
+  EXPECT_EQ(binner.bin(0, 499.0), binner.bins(0) - 1);
+}
+
+TEST(Gbdt, OversizedBinBudgetStillLearns) {
+  Rng rng(23);
+  const Dataset train = make_linear_dataset(4000, 0.1, rng);
+  GBDTConfig cfg;
+  cfg.max_bins = 300;  // pre-clamp this silently wrapped bin ids
+  cfg.n_trees = 40;
+  GBDTRegressor model(cfg);
+  model.fit(train);
+  const double probe[] = {2.0, 0.5, 0.0};
+  EXPECT_NEAR(model.predict(probe), 11.0, 1.5);
+}
+
+TEST(Gbdt, EmptyAfterRowCapFallsBackToEmptyModel) {
+  // With a tiny input and an aggressive cap, the Bernoulli row cap can
+  // reject every row; fit() must yield a clean empty model, not NaNs from a
+  // 0/0 base prediction.
+  Dataset tiny(1);
+  for (int i = 0; i < 3; ++i) {
+    const double row[] = {static_cast<double>(i)};
+    tiny.add_row(row, 1.0 + i);
+  }
+  const double probe[] = {1.0};
+  bool saw_empty_capped_fit = false;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    GBDTConfig cfg;
+    cfg.max_training_rows = 1;  // keep probability ~(2/3)^3 per seed
+    cfg.seed = seed;
+    GBDTRegressor model(cfg);
+    model.fit(tiny);
+    const double p = model.predict(probe);
+    ASSERT_FALSE(std::isnan(p)) << "seed " << seed;
+    if (!model.trained() && model.training_rmse().empty()) {
+      saw_empty_capped_fit = p == 0.0;
+      if (saw_empty_capped_fit) break;
+    }
+  }
+  // At least one seed must have exercised the empty-after-cap guard.
+  EXPECT_TRUE(saw_empty_capped_fit);
+}
+
+TEST(Gbdt, DenormalTinyTargetsStayFinite) {
+  // Residuals around 1e-300 push the quantization exponent past ldexp's
+  // range; the scale must saturate instead of going infinite (which turned
+  // every quantized gradient into INT_MIN garbage).
+  Dataset d(1);
+  Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    const double row[] = {static_cast<double>(i % 7)};
+    d.add_row(row, 1e-300 * static_cast<double>(i % 5));
+  }
+  for (const auto engine : {GBDTEngine::kHistogram, GBDTEngine::kReference}) {
+    GBDTConfig cfg;
+    cfg.n_trees = 5;
+    cfg.min_samples_leaf = 5;
+    cfg.engine = engine;
+    GBDTRegressor model(cfg);
+    model.fit(d);
+    const double probe[] = {3.0};
+    EXPECT_TRUE(std::isfinite(model.predict(probe)));
+    for (const double rmse : model.training_rmse()) {
+      EXPECT_TRUE(std::isfinite(rmse));
+    }
+  }
+}
+
 TEST(Gbdt, EmptyAndTinyDatasets) {
   GBDTRegressor model;
   model.fit(Dataset(2));
@@ -225,21 +325,35 @@ TEST(RegressionTree, SingleSplit) {
   Rng rng(1);
   FeatureBinner binner;
   binner.fit(d, 64, rng);
-  std::vector<std::uint8_t> bins(d.rows());
-  for (std::size_t r = 0; r < d.rows(); ++r) bins[r] = binner.bin(0, d.at(r, 0));
   std::vector<std::uint32_t> rows(d.rows());
   for (std::size_t r = 0; r < rows.size(); ++r) rows[r] = static_cast<std::uint32_t>(r);
-  std::vector<double> residuals(d.targets().begin(), d.targets().end());
+  const auto grad = QuantizedGradients::from(d.targets());
+  std::vector<std::int32_t> leaf_of(d.rows(), -1);
   GBDTConfig cfg;
   cfg.max_depth = 1;
   cfg.min_samples_leaf = 5;
   cfg.lambda = 0.0;
-  RegressionTree tree;
-  tree.fit(bins, d.rows(), binner, residuals, rows, cfg);
-  const double lo[] = {50.0};
-  const double hi[] = {150.0};
-  EXPECT_NEAR(tree.predict(lo), 0.0, 0.5);
-  EXPECT_NEAR(tree.predict(hi), 10.0, 0.5);
+  for (const auto engine : {GBDTEngine::kHistogram, GBDTEngine::kReference}) {
+    cfg.engine = engine;
+    // Each engine consumes its own layout: row-major for the histogram
+    // engine, the legacy column-major for the reference.
+    const BinnedMatrix binned =
+        bin_dataset(d, binner,
+                    engine == GBDTEngine::kReference ? BinLayout::kColumnMajor
+                                                     : BinLayout::kRowMajor);
+    RegressionTree tree;
+    tree.fit(binned, binner, grad, rows, leaf_of, cfg);
+    const double lo[] = {50.0};
+    const double hi[] = {150.0};
+    EXPECT_NEAR(tree.predict(lo), 0.0, 0.5);
+    EXPECT_NEAR(tree.predict(hi), 10.0, 0.5);
+    if (engine == GBDTEngine::kHistogram) {
+      // Training rows recorded their leaf, and the binned walk agrees.
+      for (std::size_t r = 0; r < d.rows(); ++r) {
+        EXPECT_EQ(leaf_of[r], tree.leaf_for_binned(binned, r));
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

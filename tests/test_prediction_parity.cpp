@@ -1,0 +1,191 @@
+// Golden parity suite for the prediction layer (smoke):
+//
+//  * GBDTEngine::kHistogram (sibling-subtraction, row-parallel, packed
+//    buckets) must reproduce GBDTEngine::kReference bit-for-bit — same
+//    trees (features, split bins, thresholds, leaf values, gains) and the
+//    same per-iteration training RMSE — across seeds and configs on
+//    trace::synthetic-derived data. Exactness is by construction (int64
+//    quantized gradients), and this suite is the regression net for the
+//    row-set / subtraction / leaf-tracking machinery on top.
+//  * predict_many (batched, binned, tree-at-a-time) must equal predict()
+//    per row, bitwise.
+//  * OnlinePriorityEvaluator's chunked replay-window mode must reproduce
+//    the serial reference — priorities, prediction-quality vectors, and the
+//    service's final rolling state — for any window count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/qssf_service.h"
+#include "ml/dataset.h"
+#include "ml/gbdt.h"
+#include "trace/synthetic.h"
+
+namespace helios::ml {
+namespace {
+
+/// QSSF-shaped feature encoding of a synthetic trace: demand, user/VC ids,
+/// calendar fields; target = log1p(duration) — the shape the service trains
+/// on, without depending on core/.
+Dataset trace_dataset(const trace::Trace& t) {
+  Dataset d(7);
+  std::vector<double> row(7);
+  for (const auto& j : t.jobs()) {
+    if (!j.is_gpu_job()) continue;
+    const CivilTime c = to_civil(j.submit_time);
+    row[0] = static_cast<double>(j.num_gpus);
+    row[1] = static_cast<double>(j.num_cpus);
+    row[2] = static_cast<double>(j.vc);
+    row[3] = static_cast<double>(j.user);
+    row[4] = static_cast<double>(c.weekday);
+    row[5] = static_cast<double>(c.hour);
+    row[6] = static_cast<double>(c.minute);
+    d.add_row(row, std::log1p(static_cast<double>(j.duration)));
+  }
+  return d;
+}
+
+void expect_models_identical(const GBDTRegressor& a, const GBDTRegressor& b) {
+  ASSERT_EQ(a.tree_count(), b.tree_count());
+  ASSERT_EQ(a.training_rmse().size(), b.training_rmse().size());
+  for (std::size_t i = 0; i < a.training_rmse().size(); ++i) {
+    ASSERT_EQ(a.training_rmse()[i], b.training_rmse()[i]) << "rmse @" << i;
+  }
+  for (std::size_t t = 0; t < a.tree_count(); ++t) {
+    const auto& na = a.trees()[t].nodes();
+    const auto& nb = b.trees()[t].nodes();
+    ASSERT_EQ(na.size(), nb.size()) << "tree " << t;
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      ASSERT_EQ(na[i].feature, nb[i].feature) << "tree " << t << " node " << i;
+      ASSERT_EQ(na[i].split_bin, nb[i].split_bin) << "tree " << t << " node " << i;
+      ASSERT_EQ(na[i].threshold, nb[i].threshold) << "tree " << t << " node " << i;
+      ASSERT_EQ(na[i].left, nb[i].left) << "tree " << t << " node " << i;
+      ASSERT_EQ(na[i].right, nb[i].right) << "tree " << t << " node " << i;
+      ASSERT_EQ(na[i].value, nb[i].value) << "tree " << t << " node " << i;
+      ASSERT_EQ(na[i].gain, nb[i].gain) << "tree " << t << " node " << i;
+    }
+  }
+}
+
+TEST(GbdtEngineParity, BitIdenticalAcrossSeedsAndConfigs) {
+  for (const std::uint64_t seed : {11ull, 29ull}) {
+    auto gen = trace::GeneratorConfig::helios(trace::helios_cluster("Venus"),
+                                              seed, 0.02);
+    const Dataset data = trace_dataset(trace::SyntheticTraceGenerator(gen).generate());
+    ASSERT_GT(data.rows(), 1000u);
+
+    GBDTConfig configs[3];
+    configs[0].n_trees = 10;
+    configs[1].n_trees = 8;
+    configs[1].max_depth = 4;
+    configs[1].max_bins = 33;
+    configs[1].subsample = 1.0;
+    configs[2].n_trees = 8;
+    configs[2].min_samples_leaf = 5;
+    configs[2].max_training_rows = data.rows() / 2;
+    for (GBDTConfig cfg : configs) {
+      cfg.seed = seed;
+      cfg.engine = GBDTEngine::kHistogram;
+      GBDTConfig ref_cfg = cfg;
+      ref_cfg.engine = GBDTEngine::kReference;
+      GBDTRegressor hist_model(cfg);
+      GBDTRegressor ref_model(ref_cfg);
+      hist_model.fit(data);
+      ref_model.fit(data);
+      ASSERT_TRUE(hist_model.trained());
+      expect_models_identical(hist_model, ref_model);
+    }
+  }
+}
+
+TEST(GbdtEngineParity, PredictManyMatchesPerRowBitwise) {
+  auto gen = trace::GeneratorConfig::helios(trace::helios_cluster("Venus"), 11,
+                                            0.02);
+  const Dataset data = trace_dataset(trace::SyntheticTraceGenerator(gen).generate());
+  GBDTConfig cfg;
+  cfg.n_trees = 10;
+  GBDTRegressor model(cfg);
+  model.fit(data);
+  const auto batched = model.predict_many(data);
+  ASSERT_EQ(batched.size(), data.rows());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    ASSERT_EQ(batched[r], model.predict(data.row(r))) << "row " << r;
+  }
+}
+
+}  // namespace
+}  // namespace helios::ml
+
+namespace helios::core {
+namespace {
+
+TEST(EvaluatorParity, ChunkedMatchesSerialBitwise) {
+  auto gen = trace::GeneratorConfig::helios(trace::helios_cluster("Venus"), 13,
+                                            0.02);
+  const trace::Trace t = trace::SyntheticTraceGenerator(gen).generate();
+  const auto train =
+      t.between(trace::helios_trace_begin(), from_civil(2020, 9, 1));
+  const auto eval = t.between(from_civil(2020, 9, 1), trace::helios_trace_end());
+
+  QssfConfig cfg;
+  cfg.gbdt.n_trees = 15;
+  for (const bool trained : {true, false}) {
+    QssfService serial_svc(cfg);
+    QssfService chunked_svc(cfg);
+    if (trained) {
+      serial_svc.fit(train);
+      chunked_svc.fit(train);
+    }
+    EvalOptions serial_opts;
+    serial_opts.execution = EvalExecution::kSerial;
+    OnlinePriorityEvaluator serial_eval(serial_svc, eval, serial_opts);
+
+    // Any window count must reproduce the serial result exactly, including
+    // windows far smaller than a thread would ever get.
+    for (const std::size_t windows : {1u, 3u, 8u}) {
+      QssfService svc(cfg);
+      if (trained) svc.fit(train);
+      EvalOptions opts;
+      opts.execution = EvalExecution::kChunked;
+      opts.min_window = 1;
+      opts.max_windows = windows;
+      OnlinePriorityEvaluator chunked_eval(svc, eval, opts);
+      ASSERT_EQ(serial_eval.predicted_gpu_time(),
+                chunked_eval.predicted_gpu_time())
+          << "windows=" << windows << " trained=" << trained;
+      ASSERT_EQ(serial_eval.actual_gpu_time(), chunked_eval.actual_gpu_time());
+      for (const auto& j : eval.jobs()) {
+        if (!j.is_gpu_job()) continue;
+        ASSERT_EQ(serial_eval.priority_of(j), chunked_eval.priority_of(j))
+            << "job " << j.job_id << " windows=" << windows;
+        // The service's final rolling state must match the serial feed too.
+        ASSERT_EQ(serial_svc.rolling_estimate(eval, j),
+                  svc.rolling_estimate(eval, j))
+            << "job " << j.job_id << " windows=" << windows;
+      }
+    }
+  }
+}
+
+TEST(EvaluatorParity, EmptyAndCpuOnlyTraces) {
+  trace::ClusterSpec spec;
+  spec.name = "s";
+  spec.vcs = {{"vc0", 2, 8}};
+  spec.nodes = 2;
+  trace::Trace empty(spec);
+  trace::Trace cpu_only(spec);
+  cpu_only.add(0, 100, 0, 8, "u", "vc0", "prep", trace::JobState::kCompleted);
+
+  for (const auto execution : {EvalExecution::kChunked, EvalExecution::kSerial}) {
+    EvalOptions opts;
+    opts.execution = execution;
+    QssfService svc;
+    OnlinePriorityEvaluator a(svc, empty, opts);
+    EXPECT_TRUE(a.predicted_gpu_time().empty());
+    OnlinePriorityEvaluator b(svc, cpu_only, opts);
+    EXPECT_TRUE(b.predicted_gpu_time().empty());
+  }
+}
+
+}  // namespace
+}  // namespace helios::core

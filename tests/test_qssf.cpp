@@ -125,6 +125,59 @@ TEST(QssfService, LambdaExtremesSelectEstimator) {
   EXPECT_DOUBLE_EQ(b.predict_duration(probe, j), b.ml_estimate(probe, j));
 }
 
+TEST(QssfService, UpdateWithOverlappingTraceDoesNotDoubleCount) {
+  // The Model Update Engine hook may be fed cumulative traces; re-observing
+  // a job used to double-count the rolling sums and re-decay the name
+  // EWMAs, skewing rolling_estimate.
+  QssfService svc(fast_config());
+  const Trace h = make_history();
+  svc.fit(h);
+
+  Trace probe(small_spec());
+  const auto& j = probe.add(from_civil(2020, 9, 1), 0, 1, 6, "alice", "vc0",
+                            "alice_train_bert", JobState::kCompleted);
+  const double before = svc.rolling_estimate(probe, j);
+
+  // Same trace again (fully overlapping): every estimate must be unchanged.
+  svc.update(h);
+  EXPECT_DOUBLE_EQ(svc.rolling_estimate(probe, j), before);
+  svc.observe(h, h.jobs().front());  // single stray re-observe is a no-op too
+  EXPECT_DOUBLE_EQ(svc.rolling_estimate(probe, j), before);
+
+  // A cumulative trace (old + genuinely new jobs) absorbs only the new ones.
+  Trace cumulative = h;
+  for (int i = 0; i < 20; ++i) {
+    cumulative.add(from_civil(2020, 9, 2) + 100 * i, 7000, 2, 12, "dave", "vc0",
+                   "dave_train_vit", JobState::kCompleted);
+  }
+  cumulative.sort_by_submit_time();
+  svc.update(cumulative);
+  EXPECT_DOUBLE_EQ(svc.rolling_estimate(probe, j), before);
+  const auto& nj = probe.add(from_civil(2020, 9, 10), 0, 2, 12, "dave", "vc0",
+                             "dave_train_vit", JobState::kCompleted);
+  EXPECT_NEAR(svc.rolling_estimate(probe, nj), 7000.0, 100.0);
+}
+
+TEST(QssfService, ObservesJobsFromIndependentTraceLineages) {
+  // Independently built traces restart job ids at 0; the observe dedupe is
+  // keyed on job content, so an id collision across lineages must not drop
+  // a genuinely new observation.
+  QssfService svc(fast_config());
+  Trace a(small_spec());
+  const auto& ja = a.add(1000, 500, 1, 6, "erin", "vc0", "erin_job_a",
+                         JobState::kCompleted);
+  svc.observe(a, ja);
+  Trace b(small_spec());  // job_id 0 again, different content
+  const auto& jb = b.add(99000, 3500, 1, 6, "erin", "vc0", "erin_job_b",
+                         JobState::kCompleted);
+  svc.observe(b, jb);
+  Trace probe(small_spec());
+  const auto& p = probe.add(200000, 0, 1, 6, "erin", "vc0", "something_else",
+                            JobState::kCompleted);
+  // Both observations counted: erin's 1-GPU mean is (500 + 3500) / 2.
+  EXPECT_NEAR(svc.rolling_estimate(probe, p), 2000.0, 1e-9);
+}
+
 TEST(QssfService, PredictionsCorrelateWithActualOnSyntheticTrace) {
   auto cfg = trace::GeneratorConfig::helios(trace::helios_cluster("Venus"), 11,
                                             0.03);
