@@ -21,6 +21,7 @@
 #include "ml/dataset.h"
 #include "ml/gbdt.h"
 #include "ml/levenshtein.h"
+#include "serialize/binary.h"
 #include "trace/synthetic.h"
 
 namespace {
@@ -182,6 +183,42 @@ BENCHMARK(BM_OnlineEvaluator)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_OnlineEvaluatorSerial)->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
+// Model persistence (serialize:: frame round trip, docs/FORMATS.md)
+// ---------------------------------------------------------------------------
+
+void BM_GbdtSave(benchmark::State& state) {
+  const auto& model = philly_model();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    serialize::Writer w;
+    model.save(w);
+    const auto file = serialize::frame(w);
+    bytes = file.size();
+    benchmark::DoNotOptimize(file.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+
+void BM_GbdtLoad(benchmark::State& state) {
+  const auto& model = philly_model();
+  serialize::Writer w;
+  model.save(w);
+  const auto file = serialize::frame(w);
+  for (auto _ : state) {
+    const auto body = serialize::unframe(file);  // CRC + header validation
+    serialize::Reader r(body);
+    ml::GBDTRegressor loaded;
+    loaded.load(r);
+    benchmark::DoNotOptimize(loaded.tree_count());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(file.size()));
+}
+BENCHMARK(BM_GbdtSave)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GbdtLoad)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
 // Levenshtein / name bucketization
 // ---------------------------------------------------------------------------
 
@@ -304,6 +341,22 @@ void verify_parity() {
     std::fprintf(stderr,
                  "FATAL: chunked OnlinePriorityEvaluator diverges from the "
                  "serial reference\n");
+    std::exit(1);
+  }
+
+  // Persistence gate: a model restored from its own snapshot must predict
+  // bit-identically (the BM_GbdtSave/BM_GbdtLoad timings are meaningless if
+  // the round trip is lossy).
+  serialize::Writer w;
+  hist_model.save(w);
+  const auto body = serialize::unframe(serialize::frame(w));
+  serialize::Reader reader(body);
+  ml::GBDTRegressor loaded;
+  loaded.load(reader);
+  if (!models_equal(hist_model, loaded) ||
+      loaded.predict_many(data) != batched) {
+    std::fprintf(stderr,
+                 "FATAL: GBDT save/load round trip is not bit-identical\n");
     std::exit(1);
   }
 }

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 verify in one command: configure, build, run every gtest suite.
 #
-#   ./ci.sh            full build + full test sweep
+#   ./ci.sh            full build + docs check + full test sweep
 #   ./ci.sh smoke      full build + fast suites only (ctest -L smoke)
 #   ./ci.sh bench      full build + microbenchmark smoke run (short
 #                      --benchmark_min_time so perf regressions fail loudly
 #                      instead of silently; binaries are built -O2 -DNDEBUG)
+#   ./ci.sh docs       no build: verify that docs/ARCHITECTURE.md and
+#                      docs/FORMATS.md only reference files and CMake
+#                      targets that still exist
 #
 # Extra args after the mode are passed through to ctest (full/smoke) or to
 # the microbenchmarks (bench).
@@ -15,9 +18,60 @@ cd "$(dirname "$0")"
 mode="${1:-full}"
 [ $# -gt 0 ] && shift
 case "$mode" in
-  full|smoke|bench) ;;
-  *) echo "usage: ./ci.sh [full|smoke|bench] [args...]" >&2; exit 2 ;;
+  full|smoke|bench|docs) ;;
+  *) echo "usage: ./ci.sh [full|smoke|bench|docs] [args...]" >&2; exit 2 ;;
 esac
+
+# Grep-based link/target validator: every backticked repo path, every
+# `dir/file.h` header reference, and every `test_*`/`microbench_*`/
+# `example_*` target named in the docs must resolve in the tree, so the
+# docs cannot silently rot as code moves.
+docs_check() {
+  local fail=0 doc ref tgt
+  for doc in docs/ARCHITECTURE.md docs/FORMATS.md; do
+    if [ ! -f "$doc" ]; then
+      echo "DOCS FAIL: $doc is missing" >&2
+      fail=1
+      continue
+    fi
+    # Repo-rooted paths like `src/serialize` or `docs/FORMATS.md`.
+    while IFS= read -r ref; do
+      if [ ! -e "$ref" ]; then
+        echo "DOCS FAIL: $doc references missing path: $ref" >&2
+        fail=1
+      fi
+    done < <(grep -oE '`(src|tests|bench|examples|docs)/[A-Za-z0-9_./-]*`' "$doc" \
+             | tr -d '\`' | sort -u)
+    # Module-relative headers like `ml/gbdt.h` (include paths under src/).
+    while IFS= read -r ref; do
+      if [ ! -e "src/$ref" ]; then
+        echo "DOCS FAIL: $doc references missing header: src/$ref" >&2
+        fail=1
+      fi
+    done < <(grep -oE '`[a-z_]+/[A-Za-z0-9_]+\.h`' "$doc" | tr -d '\`' | sort -u)
+    # CMake targets: test_* -> tests/, microbench_* -> bench/,
+    # example_* -> examples/ (target prefix added by CMakeLists.txt).
+    while IFS= read -r tgt; do
+      case "$tgt" in
+        test_*)       [ -f "tests/$tgt.cpp" ] || { echo "DOCS FAIL: $doc references missing target: $tgt" >&2; fail=1; } ;;
+        microbench_*) [ -f "bench/$tgt.cpp" ] || { echo "DOCS FAIL: $doc references missing target: $tgt" >&2; fail=1; } ;;
+        example_*)    [ -f "examples/${tgt#example_}.cpp" ] || { echo "DOCS FAIL: $doc references missing target: $tgt" >&2; fail=1; } ;;
+      esac
+    done < <(grep -oE '`(test|microbench|example)_[A-Za-z0-9_]+`' "$doc" \
+             | tr -d '\`' | sort -u)
+  done
+  if [ "$fail" -ne 0 ]; then
+    echo "DOCS FAIL: stale references (see above)" >&2
+    return 1
+  fi
+  echo "docs check OK"
+}
+
+if [ "$mode" = docs ]; then
+  docs_check
+  exit 0
+fi
+[ "$mode" = full ] && docs_check
 
 # Release is the CMake default here, but pin it so benches are always built
 # -O2 -DNDEBUG even if a stale cache says otherwise.

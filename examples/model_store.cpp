@@ -1,0 +1,168 @@
+// Model store: snapshot a trained QSSF service to disk and warm-restart it
+// without replaying multi-month histories — the fit -> save -> load ->
+// predict loop a long-lived prediction service runs across restarts
+// (docs/FORMATS.md describes the on-disk frame).
+//
+// Build & run:   ./build/example_model_store <command> [args]
+//
+//   fit <model.bin> [scale]      generate a synthetic Venus trace, fit the
+//                                QSSF service on April-August, save it
+//   predict <model.bin> [scale]  load the snapshot (no refit!) and price the
+//                                September jobs of the same trace
+//   info <model.bin>             load a snapshot and describe it
+//   roundtrip [scale]            fit, save, load, and verify bit-identical
+//                                predictions end to end
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/qssf_service.h"
+#include "serialize/binary.h"
+#include "trace/synthetic.h"
+
+namespace {
+
+using namespace helios;
+
+/// The deterministic workload every subcommand shares: seed 42 Venus at the
+/// given scale, split April-August (train) / September (eval).
+struct Workload {
+  trace::Trace train;
+  trace::Trace eval;
+
+  explicit Workload(double scale) {
+    auto cfg = trace::GeneratorConfig::helios(trace::helios_cluster("Venus"),
+                                              /*seed=*/42, scale);
+    const trace::Trace t = trace::SyntheticTraceGenerator(cfg).generate();
+    train = t.between(trace::helios_trace_begin(), from_civil(2020, 9, 1));
+    eval = t.between(from_civil(2020, 9, 1), trace::helios_trace_end());
+  }
+};
+
+void save_service(const core::QssfService& service, const std::string& path) {
+  serialize::Writer w;
+  service.save(w);
+  serialize::write_file(path, w);
+  // Framed size = body + 16-byte header + 4-byte CRC trailer (docs/FORMATS.md).
+  std::printf("saved %s (%zu bytes framed)\n", path.c_str(),
+              w.buffer().size() + 20);
+}
+
+core::QssfService load_service(const std::string& path) {
+  const std::vector<std::uint8_t> body = serialize::read_file(path);
+  serialize::Reader r(body);
+  core::QssfService service;
+  service.load(r);
+  return service;
+}
+
+int cmd_fit(const std::string& path, double scale) {
+  Workload wl(scale);
+  std::printf("fitting on %zu training jobs...\n", wl.train.size());
+  core::QssfService service;
+  service.fit(wl.train);
+  std::printf("trained: %zu trees, %lld jobs in the rolling window\n",
+              service.model().tree_count(),
+              static_cast<long long>(service.rolling().observed_jobs()));
+  save_service(service, path);
+  return 0;
+}
+
+int cmd_predict(const std::string& path, double scale) {
+  core::QssfService service = load_service(path);
+  std::printf("warm-restarted from %s: %zu trees, %lld observed jobs, "
+              "no refit\n",
+              path.c_str(), service.model().tree_count(),
+              static_cast<long long>(service.rolling().observed_jobs()));
+
+  Workload wl(scale);
+  core::OnlinePriorityEvaluator evaluator(service, wl.eval);
+  const auto& predicted = evaluator.predicted_gpu_time();
+  const auto& actual = evaluator.actual_gpu_time();
+  double smape = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double denom = std::fabs(predicted[i]) + std::fabs(actual[i]);
+    if (denom > 0) smape += 2.0 * std::fabs(predicted[i] - actual[i]) / denom;
+  }
+  if (!predicted.empty()) smape /= static_cast<double>(predicted.size());
+  std::printf("priced %zu September GPU jobs; GPU-time SMAPE %.1f%%\n",
+              predicted.size(), 100.0 * smape);
+  return 0;
+}
+
+int cmd_info(const std::string& path) {
+  const core::QssfService service = load_service(path);
+  const auto& cfg = service.config();
+  std::printf("%s:\n", path.c_str());
+  std::printf("  lambda=%.2f use_names=%d rolling_decay=%.2f\n", cfg.lambda,
+              cfg.use_names ? 1 : 0, cfg.rolling_decay);
+  std::printf("  gbdt: %zu trees (cfg %d), depth<=%d, lr=%.3f, bins<=%d\n",
+              service.model().tree_count(), cfg.gbdt.n_trees,
+              cfg.gbdt.max_depth, cfg.gbdt.learning_rate, cfg.gbdt.max_bins);
+  std::printf("  rolling: %lld observed jobs\n",
+              static_cast<long long>(service.rolling().observed_jobs()));
+  return 0;
+}
+
+int cmd_roundtrip(double scale) {
+  Workload wl(scale);
+  core::QssfService service;
+  service.fit(wl.train);
+
+  serialize::Writer w;
+  service.save(w);
+  const auto file = serialize::frame(w);
+  const auto body = serialize::unframe(file);
+  serialize::Reader r(body);
+  core::QssfService loaded;
+  loaded.load(r);
+
+  std::size_t jobs = 0;
+  for (const auto& job : wl.eval.jobs()) {
+    if (!job.is_gpu_job()) continue;
+    ++jobs;
+    if (service.priority(wl.eval, job) != loaded.priority(wl.eval, job)) {
+      std::fprintf(stderr, "FAIL: job %llu priority diverged after load\n",
+                   static_cast<unsigned long long>(job.job_id));
+      return 1;
+    }
+  }
+  std::printf("OK: %zu-byte snapshot, %zu September priorities bit-identical "
+              "after load\n",
+              file.size(), jobs);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: example_model_store fit <model.bin> [scale]\n"
+               "       example_model_store predict <model.bin> [scale]\n"
+               "       example_model_store info <model.bin>\n"
+               "       example_model_store roundtrip [scale]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "fit" && argc >= 3) {
+      return cmd_fit(argv[2], argc > 3 ? std::atof(argv[3]) : 0.05);
+    }
+    if (cmd == "predict" && argc >= 3) {
+      return cmd_predict(argv[2], argc > 3 ? std::atof(argv[3]) : 0.05);
+    }
+    if (cmd == "info" && argc >= 3) return cmd_info(argv[2]);
+    if (cmd == "roundtrip") {
+      return cmd_roundtrip(argc > 2 ? std::atof(argv[2]) : 0.05);
+    }
+  } catch (const helios::serialize::Error& e) {
+    std::fprintf(stderr, "model store error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

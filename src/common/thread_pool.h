@@ -5,6 +5,23 @@
 // [begin, end) into contiguous chunks and runs them on the pool. The pool is
 // shared process-wide via global_pool() so nested code reuses threads instead
 // of oversubscribing the (possibly small) machine.
+//
+// Thread-safety: every member and free function here is safe to call from
+// any thread, including pool workers — submit() is internally locked, and
+// the blocking drivers (parallel_for*, parallel_run_chunks,
+// parallel_map_reduce) run chunks on the calling thread when the range is
+// small, so they never deadlock on a saturated pool. parallel_run_tasks
+// goes further: the caller drains the shared task list itself, making it
+// safe even when every other worker is blocked (the VC-sharded simulator
+// nests on it). The *callbacks* handed to these drivers run concurrently —
+// they must synchronize any shared mutable state themselves.
+//
+// Determinism: the drivers fix only *which* chunks exist ([begin, end) split
+// by grain/thread-count) and, for parallel_map_reduce, the left-to-right
+// merge order — chunk *scheduling* is nondeterministic. Callers that need
+// bit-identical results across thread counts therefore make each chunk's
+// work order-independent (integer sums, disjoint writes); see ml/gbdt.h and
+// sim/ for the contracts built on top.
 #pragma once
 
 #include <condition_variable>

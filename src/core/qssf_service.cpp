@@ -7,6 +7,7 @@
 
 #include "common/civil_time.h"
 #include "common/thread_pool.h"
+#include "serialize/binary.h"
 
 namespace helios::core {
 
@@ -134,6 +135,133 @@ double RollingEstimator::estimate(const Trace& t, const JobRecord& job) const {
 }
 
 // ---------------------------------------------------------------------------
+// Persistence (docs/FORMATS.md)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kRollingTag = serialize::fourcc("ROLL");
+constexpr std::uint32_t kRollingVersion = 1;
+constexpr std::uint32_t kQssfTag = serialize::fourcc("QSSF");
+constexpr std::uint32_t kQssfVersion = 1;
+
+/// (sum, count) pairs of an unordered map, keys sorted — canonical bytes.
+void save_by_gpus(
+    serialize::Writer& w,
+    const std::unordered_map<int, std::pair<double, std::int64_t>>& m) {
+  std::vector<std::pair<int, std::pair<double, std::int64_t>>> sorted(
+      m.begin(), m.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.u64(sorted.size());
+  for (const auto& [gpus, sum_n] : sorted) {
+    w.i32(gpus);
+    w.f64(sum_n.first);
+    w.i64(sum_n.second);
+  }
+}
+
+std::unordered_map<int, std::pair<double, std::int64_t>> load_by_gpus(
+    serialize::Reader& r) {
+  const std::size_t n = r.length(20);  // i32 + f64 + i64
+  std::unordered_map<int, std::pair<double, std::int64_t>> m;
+  m.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int gpus = r.i32();
+    const double sum = r.f64();
+    const std::int64_t count = r.i64();
+    m[gpus] = {sum, count};
+  }
+  return m;
+}
+
+}  // namespace
+
+void RollingEstimator::save(serialize::Writer& w) const {
+  w.begin_section(kRollingTag);
+  w.u32(kRollingVersion);
+  w.u8(use_names_ ? 1 : 0);
+  w.f64(name_match_threshold_);
+  w.f64(rolling_decay_);
+  w.u64(max_names_per_user_);
+  w.f64(global_duration_sum_);
+  w.i64(global_jobs_);
+  w.u64(observe_counter_);
+  save_by_gpus(w, global_by_gpus_);
+
+  // Users sorted by name for canonical bytes; each user's name entries keep
+  // their vector (insertion) order, which find_name's scan depends on.
+  std::vector<const std::pair<const std::string, UserHistory>*> users;
+  users.reserve(users_.size());
+  for (const auto& kv : users_) users.push_back(&kv);
+  std::sort(users.begin(), users.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  w.u64(users.size());
+  for (const auto* kv : users) {
+    w.str(kv->first);
+    const UserHistory& u = kv->second;
+    w.f64(u.duration_sum);
+    w.i64(u.jobs);
+    save_by_gpus(w, u.by_gpus);
+    w.u64(u.names.size());
+    for (const NameEntry& e : u.names) {
+      w.str(e.name);
+      w.f64(e.ewma_duration);
+      w.f64(e.weight);
+      w.u64(e.last_seen);
+    }
+  }
+
+  std::vector<std::uint64_t> ids(observed_ids_.begin(), observed_ids_.end());
+  std::sort(ids.begin(), ids.end());
+  w.vec_u64(ids);
+  w.end_section();
+}
+
+void RollingEstimator::load(serialize::Reader& r) {
+  serialize::Reader s = r.section(kRollingTag);
+  const std::uint32_t version = s.u32();
+  if (version != kRollingVersion) {
+    throw serialize::Error(serialize::ErrorCode::kUnsupportedVersion,
+                           "rolling section version " + std::to_string(version));
+  }
+  RollingEstimator out;
+  out.use_names_ = s.u8() != 0;
+  out.name_match_threshold_ = s.f64();
+  out.rolling_decay_ = s.f64();
+  out.max_names_per_user_ = static_cast<std::size_t>(s.u64());
+  out.global_duration_sum_ = s.f64();
+  out.global_jobs_ = s.i64();
+  out.observe_counter_ = s.u64();
+  out.global_by_gpus_ = load_by_gpus(s);
+
+  const std::size_t n_users = s.length(8);
+  out.users_.reserve(n_users);
+  for (std::size_t i = 0; i < n_users; ++i) {
+    std::string user = s.str();
+    UserHistory u;
+    u.duration_sum = s.f64();
+    u.jobs = s.i64();
+    u.by_gpus = load_by_gpus(s);
+    const std::size_t n_names = s.length(8);
+    u.names.resize(n_names);
+    for (NameEntry& e : u.names) {
+      e.name = s.str();
+      e.ewma_duration = s.f64();
+      e.weight = s.f64();
+      e.last_seen = s.u64();
+    }
+    out.users_.emplace(std::move(user), std::move(u));
+  }
+
+  const std::vector<std::uint64_t> ids = s.vec_u64();
+  out.observed_ids_.reserve(ids.size());
+  out.observed_ids_.insert(ids.begin(), ids.end());
+  s.close("rolling");
+  *this = std::move(out);
+}
+
+// ---------------------------------------------------------------------------
 // QssfService
 // ---------------------------------------------------------------------------
 
@@ -193,6 +321,57 @@ void QssfService::fit(const Trace& history) {
 }
 
 void QssfService::update(const Trace& new_data) { fit(new_data); }
+
+void QssfService::save(serialize::Writer& w) const {
+  w.begin_section(kQssfTag);
+  w.u32(kQssfVersion);
+  w.f64(config_.lambda);
+  w.f64(config_.name_match_threshold);
+  w.f64(config_.rolling_decay);
+  w.u64(config_.max_names_per_user);
+  w.u8(config_.use_names ? 1 : 0);
+  model_.save(w);  // carries config_.gbdt inside the GBDT section
+  name_buckets_.save(w);
+  rolling_.save(w);
+  w.end_section();
+}
+
+void QssfService::load(serialize::Reader& r) {
+  serialize::Reader s = r.section(kQssfTag);
+  const std::uint32_t version = s.u32();
+  if (version != kQssfVersion) {
+    throw serialize::Error(serialize::ErrorCode::kUnsupportedVersion,
+                           "qssf section version " + std::to_string(version));
+  }
+  QssfConfig cfg;
+  cfg.lambda = s.f64();
+  cfg.name_match_threshold = s.f64();
+  cfg.rolling_decay = s.f64();
+  cfg.max_names_per_user = static_cast<std::size_t>(s.u64());
+  cfg.use_names = s.u8() != 0;
+  ml::GBDTRegressor model;
+  model.load(s);
+  // encode() always hands predict() a kFeatureCount-element row; a trained
+  // model expecting any other width would index past it. (GBDT load already
+  // guarantees binner width == the model's feature count when trained.)
+  if (model.trained() && model.binner().features() != kFeatureCount) {
+    throw serialize::Error(
+        serialize::ErrorCode::kCorrupt,
+        "qssf model expects " + std::to_string(model.binner().features()) +
+            " features, service encodes " + std::to_string(kFeatureCount));
+  }
+  cfg.gbdt = model.config();
+  ml::NameBucketizer buckets;
+  buckets.load(s);
+  RollingEstimator rolling;
+  rolling.load(s);
+  s.close("qssf");
+
+  config_ = cfg;
+  model_ = std::move(model);
+  name_buckets_ = std::move(buckets);
+  rolling_ = std::move(rolling);
+}
 
 double QssfService::rolling_estimate(const Trace& t, const JobRecord& job) const {
   return rolling_.estimate(t, job);

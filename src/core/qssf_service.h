@@ -16,6 +16,24 @@
 //     short jobs don't starve behind small ones).
 // The scheduler then runs jobs in ascending priority (sim::SchedulerPolicy::
 // kQssf). Lower P = expected-shorter service = runs first.
+//
+// Determinism: fit(), observe(), and the evaluator are pure functions of
+// their inputs and the service's prior state — no wall clock, no unseeded
+// randomness. OnlinePriorityEvaluator's chunked mode is bit-identical to the
+// serial loop for any window or thread count (test_prediction_parity), and a
+// service restored from save() (docs/FORMATS.md, "QSSF" frame) produces
+// bit-identical priorities and estimates (test_serialize) — including the
+// dedupe keys, so replaying an already-observed trace into a warm-restarted
+// service still cannot double-count.
+//
+// Thread-safety: QssfService and RollingEstimator are externally
+// synchronized — fit()/update()/observe()/load() mutate and must be
+// exclusive; the const estimate/predict accessors are safe to share across
+// threads between mutations (predict-time name bucketing is memoized behind
+// logical constness, so even const use requires external synchronization if
+// callers race on previously-unseen job names). OnlinePriorityEvaluator
+// parallelizes internally on the shared global_pool() and is safe to read
+// from any thread once constructed.
 #pragma once
 
 #include <algorithm>
@@ -32,6 +50,11 @@
 #include "ml/levenshtein.h"
 #include "sim/simulator.h"
 #include "trace/trace.h"
+
+namespace helios::serialize {
+class Reader;
+class Writer;
+}  // namespace helios::serialize
 
 namespace helios::core {
 
@@ -83,6 +106,15 @@ class RollingEstimator {
                                 const trace::JobRecord& job) const;
 
   [[nodiscard]] std::int64_t observed_jobs() const noexcept { return global_jobs_; }
+
+  /// Persist / restore the full rolling state ("ROLL" section,
+  /// docs/FORMATS.md): per-user histories (GPU-demand sums, name EWMAs with
+  /// their eviction clocks), the cluster-wide fallbacks, and the observed-id
+  /// dedupe set — so a restored estimator both estimates bit-identically and
+  /// keeps skipping jobs the saved one had already folded in. Throws
+  /// serialize::Error on malformed input.
+  void save(serialize::Writer& w) const;
+  void load(serialize::Reader& r);
 
  private:
   struct NameEntry {
@@ -163,6 +195,14 @@ class QssfService final : public Service {
   [[nodiscard]] bool trained() const noexcept { return model_.trained(); }
   [[nodiscard]] const ml::GBDTRegressor& model() const noexcept { return model_; }
   [[nodiscard]] const RollingEstimator& rolling() const noexcept { return rolling_; }
+
+  /// Persist the whole service ("QSSF" frame, docs/FORMATS.md): config,
+  /// GBDT model, name buckets, and rolling state. Wrap with
+  /// serialize::write_file to snapshot; load() into a fresh service
+  /// warm-restarts it — predictions and priorities are bit-identical to the
+  /// saved instance, with no history replay or refit.
+  void save(serialize::Writer& w) const;
+  void load(serialize::Reader& r);
 
  private:
   friend class OnlinePriorityEvaluator;  // snapshots / adopts rolling_

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/thread_pool.h"
+#include "serialize/binary.h"
 
 namespace helios::ml {
 
@@ -71,6 +72,49 @@ void FeatureBinner::fit(const Dataset& data, int max_bins, Rng& rng) {
       }
     }
   }
+}
+
+namespace {
+constexpr std::uint32_t kBinnerTag = serialize::fourcc("BINR");
+constexpr std::uint32_t kBinnerVersion = 1;
+}  // namespace
+
+void FeatureBinner::save(serialize::Writer& w) const {
+  w.begin_section(kBinnerTag);
+  w.u32(kBinnerVersion);
+  w.u64(edges_.size());
+  for (const auto& edges : edges_) w.vec_f64(edges);
+  w.end_section();
+}
+
+void FeatureBinner::load(serialize::Reader& r) {
+  serialize::Reader s = r.section(kBinnerTag);
+  const std::uint32_t version = s.u32();
+  if (version != kBinnerVersion) {
+    throw serialize::Error(serialize::ErrorCode::kUnsupportedVersion,
+                           "binner section version " + std::to_string(version));
+  }
+  const std::size_t p = s.length(8);  // each feature holds at least a count
+  std::vector<std::vector<double>> edges(p);
+  for (std::size_t f = 0; f < p; ++f) {
+    edges[f] = s.vec_f64();
+    // bins(f) = edges + 1 must fit the uint8 bin ids, and bin() requires
+    // strictly ascending edges — reject anything else before adopting it.
+    if (edges[f].size() > 255) {
+      throw serialize::Error(serialize::ErrorCode::kCorrupt,
+                             "feature " + std::to_string(f) + " has " +
+                                 std::to_string(edges[f].size()) + " edges");
+    }
+    for (std::size_t i = 1; i < edges[f].size(); ++i) {
+      if (!(edges[f][i - 1] < edges[f][i])) {
+        throw serialize::Error(serialize::ErrorCode::kCorrupt,
+                               "feature " + std::to_string(f) +
+                                   " edges are not strictly ascending");
+      }
+    }
+  }
+  s.close("binner");
+  edges_ = std::move(edges);
 }
 
 BinnedMatrix bin_dataset(const Dataset& data, const FeatureBinner& binner,

@@ -9,6 +9,11 @@
 
 #include "common/rng.h"
 
+namespace helios::serialize {
+class Reader;
+class Writer;
+}  // namespace helios::serialize
+
 namespace helios::ml {
 
 class Dataset;
@@ -135,6 +140,14 @@ class FeatureBinner {
   [[nodiscard]] double edge(std::size_t feature, int bin) const noexcept {
     return edges_[feature][static_cast<std::size_t>(bin)];
   }
+
+  /// Persist / restore the fitted edges ("BINR" section, docs/FORMATS.md).
+  /// A loaded binner bins bit-identically to the saved one (edges travel as
+  /// IEEE-754 bit patterns). load() throws serialize::Error on malformed
+  /// input and rejects per-feature edge lists that are unsorted or would
+  /// overflow the uint8 bin id.
+  void save(serialize::Writer& w) const;
+  void load(serialize::Reader& r);
 
  private:
   std::vector<std::vector<double>> edges_;  // sorted strict upper edges

@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "common/thread_pool.h"
+#include "serialize/binary.h"
 
 namespace helios::ml {
 
@@ -739,6 +740,159 @@ std::vector<double> GBDTRegressor::predict_many(const Dataset& data) const {
       },
       /*grain=*/4096);
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Persistence (docs/FORMATS.md)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kTreeTag = serialize::fourcc("TREE");
+constexpr std::uint32_t kTreeVersion = 1;
+constexpr std::uint32_t kGbdtTag = serialize::fourcc("GBDT");
+constexpr std::uint32_t kGbdtVersion = 1;
+
+[[noreturn]] void corrupt(const std::string& what) {
+  throw serialize::Error(serialize::ErrorCode::kCorrupt, what);
+}
+
+}  // namespace
+
+void RegressionTree::save(serialize::Writer& w) const {
+  w.begin_section(kTreeTag);
+  w.u32(kTreeVersion);
+  w.u64(nodes_.size());
+  for (const Node& n : nodes_) {
+    w.i32(n.feature);
+    w.i32(n.split_bin);
+    w.f64(n.threshold);
+    w.i32(n.left);
+    w.i32(n.right);
+    w.f64(n.value);
+    w.f64(n.gain);
+  }
+  w.end_section();
+}
+
+void RegressionTree::load(serialize::Reader& r, std::size_t n_features) {
+  serialize::Reader s = r.section(kTreeTag);
+  const std::uint32_t version = s.u32();
+  if (version != kTreeVersion) {
+    throw serialize::Error(serialize::ErrorCode::kUnsupportedVersion,
+                           "tree section version " + std::to_string(version));
+  }
+  const std::size_t count = s.length(36);  // bytes per serialized node
+  // fit() never emits an empty tree (the regressor drops them before
+  // saving), and leaf_for_binned reads nodes_[0] unconditionally — so a
+  // zero-node tree can only be corruption.
+  if (count == 0) corrupt("tree with zero nodes");
+  std::vector<Node> nodes(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Node& n = nodes[i];
+    n.feature = s.i32();
+    n.split_bin = s.i32();
+    n.threshold = s.f64();
+    n.left = s.i32();
+    n.right = s.i32();
+    n.value = s.f64();
+    n.gain = s.f64();
+    if (n.feature < 0) continue;  // leaf: child links are ignored
+    // Interior node. Trees are built preorder (children are appended after
+    // their parent), so requiring child > own index both matches every
+    // writer and makes cycles — hence unbounded predict() loops —
+    // unrepresentable.
+    if (static_cast<std::size_t>(n.feature) >= n_features) {
+      corrupt("tree node " + std::to_string(i) + " splits on feature " +
+              std::to_string(n.feature) + " of " + std::to_string(n_features));
+    }
+    const auto in_range = [&](std::int32_t child) {
+      return child > static_cast<std::int32_t>(i) &&
+             static_cast<std::size_t>(child) < count;
+    };
+    if (!in_range(n.left) || !in_range(n.right)) {
+      corrupt("tree node " + std::to_string(i) + " has out-of-order children");
+    }
+  }
+  s.close("tree");
+  nodes_ = std::move(nodes);
+}
+
+void GBDTRegressor::save(serialize::Writer& w) const {
+  w.begin_section(kGbdtTag);
+  w.u32(kGbdtVersion);
+  w.i32(config_.n_trees);
+  w.i32(config_.max_depth);
+  w.f64(config_.learning_rate);
+  w.i32(config_.min_samples_leaf);
+  w.f64(config_.subsample);
+  w.i32(config_.max_bins);
+  w.f64(config_.lambda);
+  w.u64(config_.seed);
+  w.u64(config_.max_training_rows);
+  w.u8(static_cast<std::uint8_t>(config_.engine));
+  w.f64(base_prediction_);
+  w.u64(n_features_);
+  w.vec_f64(train_rmse_);
+  binner_.save(w);
+  w.u64(trees_.size());
+  for (const RegressionTree& t : trees_) t.save(w);
+  w.end_section();
+}
+
+void GBDTRegressor::load(serialize::Reader& r) {
+  serialize::Reader s = r.section(kGbdtTag);
+  const std::uint32_t version = s.u32();
+  if (version != kGbdtVersion) {
+    throw serialize::Error(serialize::ErrorCode::kUnsupportedVersion,
+                           "gbdt section version " + std::to_string(version));
+  }
+  GBDTConfig cfg;
+  cfg.n_trees = s.i32();
+  cfg.max_depth = s.i32();
+  cfg.learning_rate = s.f64();
+  cfg.min_samples_leaf = s.i32();
+  cfg.subsample = s.f64();
+  cfg.max_bins = s.i32();
+  cfg.lambda = s.f64();
+  cfg.seed = s.u64();
+  cfg.max_training_rows = s.u64();
+  const std::uint8_t engine = s.u8();
+  if (engine > static_cast<std::uint8_t>(GBDTEngine::kReference)) {
+    corrupt("unknown engine id " + std::to_string(engine));
+  }
+  cfg.engine = static_cast<GBDTEngine>(engine);
+  const double base = s.f64();
+  const std::uint64_t n_features = s.u64();
+  std::vector<double> rmse = s.vec_f64();
+  FeatureBinner binner;
+  binner.load(s);
+  // A trained model's binner covers exactly its features; an untrained one
+  // has neither. Anything else cannot have come from save().
+  if (binner.features() != 0 && binner.features() != n_features) {
+    corrupt("binner covers " + std::to_string(binner.features()) +
+            " features, model has " + std::to_string(n_features));
+  }
+  const std::size_t n_trees = s.length(12);  // section tag + length minimum
+  std::vector<RegressionTree> trees(n_trees);
+  for (std::size_t t = 0; t < n_trees; ++t) {
+    trees[t].load(s, static_cast<std::size_t>(n_features));
+  }
+  s.close("gbdt");
+  // predict_many bins every feature through the binner; trees without a
+  // matching binner would index an empty BinnedMatrix.
+  if (!trees.empty() && binner.features() != n_features) {
+    corrupt("model has " + std::to_string(n_trees) + " trees but the binner"
+            " covers " + std::to_string(binner.features()) + " of " +
+            std::to_string(n_features) + " features");
+  }
+
+  config_ = cfg;
+  base_prediction_ = base;
+  n_features_ = static_cast<std::size_t>(n_features);
+  train_rmse_ = std::move(rmse);
+  binner_ = std::move(binner);
+  trees_ = std::move(trees);
 }
 
 std::vector<double> GBDTRegressor::feature_importance() const {

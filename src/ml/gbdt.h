@@ -25,6 +25,20 @@
 // per-tree gradients are quantized to int64 (QuantizedGradients): integer
 // histogram sums are exact under any accumulation order and under sibling
 // subtraction, so split decisions and leaf values cannot drift.
+//
+// Determinism: fit() is a pure function of (dataset, config) — the same
+// inputs produce the same trees bit-for-bit on any thread count and either
+// engine (test_prediction_parity pins this). predict()/predict_many() are
+// pure functions of the fitted model, and a model restored via load() (see
+// docs/FORMATS.md, "GBDT" section) predicts bit-identically to the original
+// (test_serialize pins this).
+//
+// Thread-safety: fit() and load() mutate the model and must not race with
+// anything; the const members (predict, predict_many, accessors) are safe to
+// call concurrently from any number of threads once training/loading has
+// completed. fit() and predict_many() internally parallelize on the shared
+// global_pool(), so they must not be called from inside a pool task that
+// blocks on them (use parallel_run_tasks for such nesting).
 #pragma once
 
 #include <cstdint>
@@ -32,6 +46,11 @@
 #include <vector>
 
 #include "ml/dataset.h"
+
+namespace helios::serialize {
+class Reader;
+class Writer;
+}  // namespace helios::serialize
 
 namespace helios::ml {
 
@@ -110,6 +129,13 @@ class RegressionTree {
   [[nodiscard]] const std::vector<Node>& nodes() const noexcept { return nodes_; }
   [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
 
+  /// Persist / restore the node array ("TREE" section, docs/FORMATS.md).
+  /// load() validates the tree shape (preorder child links, in-range feature
+  /// ids against `n_features`) so a corrupt file cannot make predict() read
+  /// out of bounds or loop forever; it throws serialize::Error instead.
+  void save(serialize::Writer& w) const;
+  void load(serialize::Reader& r, std::size_t n_features);
+
  private:
   std::vector<Node> nodes_;
 };
@@ -140,6 +166,16 @@ class GBDTRegressor {
     return trees_;
   }
   [[nodiscard]] const FeatureBinner& binner() const noexcept { return binner_; }
+
+  /// Persist the fitted model ("GBDT" section, docs/FORMATS.md): config,
+  /// base prediction, binner edges, every tree, and the training-RMSE
+  /// curve. Wrap with serialize::write_file for the on-disk frame.
+  void save(serialize::Writer& w) const;
+  /// Replace this model with the persisted one. The loaded model predicts
+  /// bit-identically to the saved one (predict and predict_many). Throws
+  /// serialize::Error on malformed input, leaving no partially-adopted
+  /// state behind.
+  void load(serialize::Reader& r);
 
  private:
   GBDTConfig config_;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "serialize/binary.h"
+
 namespace helios::ml {
 
 std::size_t levenshtein(std::string_view a, std::string_view b) {
@@ -113,6 +115,73 @@ std::uint32_t NameBucketizer::lookup(std::string_view name) const {
   const auto it = exact_.find(std::string(name));
   if (it != exact_.end()) return it->second;
   return find_nearest(name);
+}
+
+namespace {
+constexpr std::uint32_t kBucketizerTag = serialize::fourcc("NBKT");
+constexpr std::uint32_t kBucketizerVersion = 1;
+}  // namespace
+
+void NameBucketizer::save(serialize::Writer& w) const {
+  w.begin_section(kBucketizerTag);
+  w.u32(kBucketizerVersion);
+  w.f64(threshold_);
+  w.u64(prefix_len_);
+  w.u64(representatives_.size());
+  for (const std::string& rep : representatives_) w.str(rep);
+  // Memoized assignments in sorted order: the bytes are canonical however
+  // the unordered map happens to hash.
+  std::vector<std::pair<std::string_view, std::uint32_t>> memo(exact_.begin(),
+                                                               exact_.end());
+  std::sort(memo.begin(), memo.end());
+  w.u64(memo.size());
+  for (const auto& [name, id] : memo) {
+    w.str(name);
+    w.u32(id);
+  }
+  w.end_section();
+}
+
+void NameBucketizer::load(serialize::Reader& r) {
+  serialize::Reader s = r.section(kBucketizerTag);
+  const std::uint32_t version = s.u32();
+  if (version != kBucketizerVersion) {
+    throw serialize::Error(
+        serialize::ErrorCode::kUnsupportedVersion,
+        "bucketizer section version " + std::to_string(version));
+  }
+  const double threshold = s.f64();
+  const std::size_t prefix_len = static_cast<std::size_t>(s.u64());
+  const std::size_t n_reps = s.length(8);
+  std::vector<std::string> reps(n_reps);
+  for (std::size_t i = 0; i < n_reps; ++i) reps[i] = s.str();
+  const std::size_t n_memo = s.length(12);  // str length + u32 id
+  std::unordered_map<std::string, std::uint32_t> memo;
+  memo.reserve(n_memo);
+  for (std::size_t i = 0; i < n_memo; ++i) {
+    std::string name = s.str();
+    const std::uint32_t id = s.u32();
+    if (id >= n_reps) {
+      throw serialize::Error(serialize::ErrorCode::kCorrupt,
+                             "bucket id " + std::to_string(id) + " of " +
+                                 std::to_string(n_reps));
+    }
+    memo.emplace(std::move(name), id);
+  }
+  s.close("bucketizer");
+
+  threshold_ = threshold;
+  prefix_len_ = prefix_len;
+  representatives_ = std::move(reps);
+  exact_ = std::move(memo);
+  // The prefix index is derived state: rebuild it exactly as bucket() grew
+  // it — bucket ids appended in founding order.
+  by_prefix_.clear();
+  if (prefix_len_ > 0) {
+    for (std::uint32_t i = 0; i < representatives_.size(); ++i) {
+      by_prefix_[prefix_key(representatives_[i])].push_back(i);
+    }
+  }
 }
 
 }  // namespace helios::ml

@@ -13,6 +13,11 @@
 #include <unordered_map>
 #include <vector>
 
+namespace helios::serialize {
+class Reader;
+class Writer;
+}  // namespace helios::serialize
+
 namespace helios::ml {
 
 /// Classic dynamic-programming edit distance (insert/delete/substitute = 1).
@@ -56,6 +61,14 @@ class NameBucketizer {
   }
 
   static constexpr std::uint32_t kNoBucket = 0xffffffffu;
+
+  /// Persist / restore the clustering state ("NBKT" section,
+  /// docs/FORMATS.md): threshold, prefix length, representatives, and the
+  /// memoized name→bucket map, so a restored bucketizer assigns exactly the
+  /// ids the live one would. The prefix index is rebuilt on load. Throws
+  /// serialize::Error on malformed input.
+  void save(serialize::Writer& w) const;
+  void load(serialize::Reader& r);
 
  private:
   [[nodiscard]] std::uint32_t find_nearest(std::string_view name) const;
