@@ -1,0 +1,132 @@
+// Scheduling under node churn: the four policies replayed against a
+// fault-injecting simulation (flaky-node FaultPlan), plus FIFO with
+// failure-aware placement — a GBDT failure predictor trained on the fault
+// history before the evaluation window ranks nodes by risk, and the
+// allocator fills predicted-healthy nodes first. The paper's §4.2.3
+// comparison assumes a healthy cluster; the §3.3 final-status breakdown
+// (large failed/killed fractions) motivates checking how the ranking holds
+// up — and what prediction buys — when nodes actually die.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "common/text_table.h"
+#include "core/failure_predictor.h"
+#include "sim/fault_plan.h"
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+int main() {
+  using helios::TextTable;
+  namespace bench = helios::bench;
+  namespace core = helios::core;
+  namespace sim = helios::sim;
+  namespace trace = helios::trace;
+
+  bench::print_header("Ablation: scheduling under node churn",
+                      "policies + failure-aware placement vs. flaky nodes",
+                      "FaultPlan: flaky-node Poisson failures; GBDT risk "
+                      "ranking trained on the pre-window fault history");
+
+  // Venus at bench scale; churn-level failure rates with a flaky cohort
+  // (the skew the predictor exploits). The utilization target is lowered from
+  // Venus's published ~0.85 to 0.55: a cluster run with failure headroom, the
+  // regime where placement has slack to steer within — on a saturated
+  // cluster every node is busy and no ranking can dodge a failure. (Thinning
+  // job counts would not create that slack: the generator stretches durations
+  // until total GPU time hits target_utilization * capacity regardless.)
+  auto gen_cfg = trace::GeneratorConfig::helios(trace::helios_cluster("Venus"),
+                                                bench::seed(), bench::scale());
+  gen_cfg.knobs.target_utilization = 0.55;
+  const trace::Trace t = trace::SyntheticTraceGenerator(gen_cfg).generate();
+  const trace::ClusterSpec& cluster = t.cluster();
+  const auto& jobs = t.jobs();
+  const helios::UnixTime begin = jobs.front().submit_time;
+  const helios::UnixTime end = jobs.back().submit_time + 14 * 86400;
+
+  sim::FaultPlanConfig fp;
+  fp.mtbf_days = 25.0;
+  fp.flaky_fraction = 0.15;
+  fp.flaky_multiplier = 12.0;
+  fp.mean_downtime = 8 * 3600;
+  fp.seed = bench::seed() + 1;
+  // The plan starts 90 days before the trace: that prefix is the observed
+  // failure history the predictor trains on, the rest is what the runs see.
+  const sim::FaultPlan full_plan =
+      sim::FaultPlan::generate(cluster, fp, begin - 90 * 86400, end);
+  const sim::FaultPlan history = full_plan.clipped(begin - 90 * 86400, begin);
+  const sim::FaultPlan eval_plan = full_plan.clipped(begin, end);
+
+  core::FailurePredictor predictor;
+  predictor.fit(cluster, history);
+  const auto node_order = predictor.rank_nodes(cluster, history, begin);
+
+  auto run = [&](sim::SchedulerPolicy policy, bool failure_aware) {
+    sim::SimConfig cfg;
+    cfg.policy = policy;
+    cfg.fault_plan = &eval_plan;
+    cfg.restart = sim::FaultRestart::kRestart;
+    // Operate like the production Slurm (backfill on): without it, FIFO
+    // head-of-line blocking on multi-node gangs dominates every JCT and
+    // drowns the failure effects this ablation is about.
+    cfg.backfill = true;
+    if (policy == sim::SchedulerPolicy::kQssf) {
+      cfg.priority_fn = [](const trace::JobRecord& j) {
+        return static_cast<double>(j.duration) * j.num_gpus;
+      };
+    }
+    if (failure_aware) cfg.node_order = node_order;
+    return sim::ClusterSimulator(cluster, cfg).run(t);
+  };
+
+  struct Row {
+    std::string name;
+    sim::SimResult r;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"FIFO", run(sim::SchedulerPolicy::kFifo, false)});
+  rows.push_back({"SJF", run(sim::SchedulerPolicy::kSjf, false)});
+  rows.push_back({"SRTF", run(sim::SchedulerPolicy::kSrtf, false)});
+  rows.push_back({"QSSF", run(sim::SchedulerPolicy::kQssf, false)});
+  rows.push_back({"FIFO+risk-aware", run(sim::SchedulerPolicy::kFifo, true)});
+  rows.push_back({"QSSF+risk-aware", run(sim::SchedulerPolicy::kQssf, true)});
+
+  TextTable table({"policy", "avg JCT (h)", "avg queue delay (h)", "job kills",
+                   "unfinished", "node failures"});
+  for (const auto& row : rows) {
+    table.add_row({row.name, TextTable::cell(row.r.avg_jct / 3600.0, 2),
+                   TextTable::cell(row.r.avg_queue_delay / 3600.0, 2),
+                   std::to_string(row.r.job_kills),
+                   std::to_string(row.r.unfinished_jobs),
+                   std::to_string(row.r.node_failures)});
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  const sim::SimResult& fifo = rows[0].r;
+  const sim::SimResult& aware = rows[4].r;
+  bench::print_expectation(
+      "churn actually bites", "kills > 0 under plain FIFO",
+      std::to_string(fifo.job_kills) + " kills / " +
+          std::to_string(fifo.node_failures) + " failures");
+  bench::print_expectation(
+      "risk-aware placement helps FIFO", "fewer kills, lower avg JCT",
+      std::to_string(aware.job_kills) + " kills, " +
+          TextTable::cell(aware.avg_jct / 3600.0, 2) + "h vs " +
+          TextTable::cell(fifo.avg_jct / 3600.0, 2) + "h");
+
+  // Gate (ISSUE 6 acceptance): under non-zero failure rates the predictive
+  // placement must strictly beat plain FIFO on average JCT.
+  if (!(fifo.job_kills > 0)) {
+    std::fprintf(stderr, "FAIL: fault plan produced no job kills\n");
+    return EXIT_FAILURE;
+  }
+  if (!(aware.avg_jct < fifo.avg_jct)) {
+    std::fprintf(stderr,
+                 "FAIL: failure-aware FIFO avg JCT %.2f h not below plain "
+                 "FIFO %.2f h\n",
+                 aware.avg_jct / 3600.0, fifo.avg_jct / 3600.0);
+    return EXIT_FAILURE;
+  }
+  return 0;
+}

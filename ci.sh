@@ -9,17 +9,20 @@
 #   ./ci.sh docs       no build: verify that docs/ARCHITECTURE.md and
 #                      docs/FORMATS.md only reference files and CMake
 #                      targets that still exist
+#   ./ci.sh asan       separate build-asan tree with AddressSanitizer +
+#                      UndefinedBehaviorSanitizer (abort on first report),
+#                      running the fast suites (ctest -L smoke)
 #
-# Extra args after the mode are passed through to ctest (full/smoke) or to
-# the microbenchmarks (bench).
+# Extra args after the mode are passed through to ctest (full/smoke/asan) or
+# to the microbenchmarks (bench).
 set -euo pipefail
 cd "$(dirname "$0")"
 
 mode="${1:-full}"
 [ $# -gt 0 ] && shift
 case "$mode" in
-  full|smoke|bench|docs) ;;
-  *) echo "usage: ./ci.sh [full|smoke|bench|docs] [args...]" >&2; exit 2 ;;
+  full|smoke|bench|docs|asan) ;;
+  *) echo "usage: ./ci.sh [full|smoke|bench|docs|asan] [args...]" >&2; exit 2 ;;
 esac
 
 # Grep-based link/target validator: every backticked repo path, every
@@ -72,6 +75,20 @@ if [ "$mode" = docs ]; then
   exit 0
 fi
 [ "$mode" = full ] && docs_check
+
+if [ "$mode" = asan ]; then
+  # Own build tree so the sanitized objects never mix with the Release cache.
+  # Debug keeps assertions live; -fno-sanitize-recover turns every ASan/UBSan
+  # report into a hard failure instead of a log line. Benches and examples
+  # are skipped — the smoke suites exercise the library paths that matter.
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DHELIOS_BUILD_BENCH=OFF -DHELIOS_BUILD_EXAMPLES=OFF \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  cmake --build build-asan -j "$(nproc)"
+  cd build-asan
+  exec ctest -L smoke --output-on-failure -j "$(nproc)" "$@"
+fi
 
 # Release is the CMake default here, but pin it so benches are always built
 # -O2 -DNDEBUG even if a stale cache says otherwise.

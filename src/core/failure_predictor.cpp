@@ -1,0 +1,93 @@
+#include "core/failure_predictor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "serialize/binary.h"
+
+namespace helios::core {
+
+namespace {
+
+constexpr std::uint32_t kPredictorTag = serialize::fourcc("FPRD");
+constexpr std::uint8_t kVersion = 1;
+
+}  // namespace
+
+void FailurePredictor::fit(const trace::ClusterSpec& spec,
+                           const sim::FaultPlan& history) {
+  const ml::Dataset data =
+      ml::build_failure_dataset(spec, history, config_.dataset);
+  ml::GBDTRegressor model(config_.gbdt);
+  if (!data.empty()) model.fit(data);
+  model_ = std::move(model);
+}
+
+double FailurePredictor::risk(const ml::NodeFailureHistory& history, int vc,
+                              int node, std::int64_t at) const {
+  const auto row = history.features(vc, node, at);
+  return model_.predict(row);
+}
+
+std::vector<std::vector<std::int32_t>> FailurePredictor::rank_nodes(
+    const trace::ClusterSpec& spec, const sim::FaultPlan& history,
+    std::int64_t at) const {
+  const ml::NodeFailureHistory index(spec, history);
+  std::vector<std::vector<std::int32_t>> order(spec.vcs.size());
+  for (std::size_t vi = 0; vi < spec.vcs.size(); ++vi) {
+    const int n_nodes = spec.vcs[vi].nodes;
+    std::vector<std::pair<double, std::int32_t>> scored;
+    scored.reserve(static_cast<std::size_t>(n_nodes));
+    for (int node = 0; node < n_nodes; ++node) {
+      const double r = trained()
+                           ? risk(index, static_cast<int>(vi), node, at)
+                           : 0.0;
+      scored.emplace_back(r, node);
+    }
+    // Ascending risk; node id breaks ties, so an uninformative model (or an
+    // untrained predictor) degrades to the allocator's default id order.
+    std::sort(scored.begin(), scored.end());
+    auto& vc_order = order[vi];
+    vc_order.reserve(scored.size());
+    for (const auto& [r, node] : scored) vc_order.push_back(node);
+  }
+  return order;
+}
+
+void FailurePredictor::save(serialize::Writer& w) const {
+  w.begin_section(kPredictorTag);
+  w.u8(kVersion);
+  w.i64(config_.dataset.sample_step);
+  w.i64(config_.dataset.horizon);
+  w.i64(config_.dataset.warmup);
+  w.u8(trained() ? 1 : 0);
+  if (trained()) model_.save(w);
+  w.end_section();
+}
+
+void FailurePredictor::load(serialize::Reader& r) {
+  serialize::Reader s = r.section(kPredictorTag);
+  const std::uint8_t version = s.u8();
+  if (version != kVersion) {
+    throw serialize::Error(serialize::ErrorCode::kUnsupportedVersion,
+                           "failure predictor: unsupported version");
+  }
+  // Stage, then commit: a throw below leaves *this untouched.
+  FailurePredictorConfig cfg = config_;
+  cfg.dataset.sample_step = s.i64();
+  cfg.dataset.horizon = s.i64();
+  cfg.dataset.warmup = s.i64();
+  if (cfg.dataset.sample_step <= 0 || cfg.dataset.horizon <= 0 ||
+      cfg.dataset.warmup < 0) {
+    throw serialize::Error(serialize::ErrorCode::kCorrupt,
+                           "failure predictor: invalid dataset config");
+  }
+  ml::GBDTRegressor model;
+  if (s.u8() != 0) model.load(s);
+  s.close("failure predictor");
+  cfg.gbdt = model.config();
+  config_ = std::move(cfg);
+  model_ = std::move(model);
+}
+
+}  // namespace helios::core

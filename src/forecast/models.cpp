@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+
+#include "common/thread_pool.h"
 
 #include "serialize/binary.h"
 
@@ -401,18 +404,41 @@ std::unique_ptr<Forecaster> load_forecaster(serialize::Reader& r) {
 // ---------------------------------------------------------------------------
 
 BacktestResult backtest(const Forecaster& model, const TimeSeries& series,
-                        std::size_t min_train, int horizon, std::size_t stride) {
+                        std::size_t min_train, int horizon, std::size_t stride,
+                        BacktestExecution execution) {
   BacktestResult r;
   if (horizon <= 0 || stride == 0) return r;
   const auto h = static_cast<std::size_t>(horizon);
-  for (std::size_t origin = min_train; origin + h <= series.size();
-       origin += stride) {
+  if (min_train + h > series.size()) return r;
+  // Preassign one slot per origin: each evaluation writes disjoint indices,
+  // so the parallel pass is bit-identical to the serial loop regardless of
+  // scheduling order.
+  const std::size_t n = (series.size() - h - min_train) / stride + 1;
+  r.actual.resize(n);
+  r.predicted.resize(n);
+  auto eval = [&](std::size_t i) {
+    const std::size_t origin = min_train + i * stride;
     const TimeSeries prefix = series.slice(0, origin);
     const auto pred = model.forecast(prefix, horizon);
-    r.actual.push_back(series.values[origin + h - 1]);
-    r.predicted.push_back(pred.back());
+    r.actual[i] = series.values[origin + h - 1];
+    r.predicted[i] = pred.back();
+  };
+  if (execution == BacktestExecution::kSerial) {
+    for (std::size_t i = 0; i < n; ++i) eval(i);
+  } else {
+    parallel_for(0, n, eval);
   }
   return r;
+}
+
+void fit_forecasters(std::span<Forecaster* const> models,
+                     const TimeSeries& history) {
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(models.size());
+  for (Forecaster* m : models) {
+    if (m != nullptr) tasks.push_back([m, &history] { m->fit(history); });
+  }
+  parallel_run_tasks(std::move(tasks));
 }
 
 }  // namespace helios::forecast

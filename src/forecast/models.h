@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -185,18 +186,38 @@ class GBDTForecaster final : public Forecaster {
   ml::GBDTRegressor model_;
 };
 
+/// How backtest() evaluates its rolling origins. Both modes produce
+/// bit-identical BacktestResults (each origin's forecast is a pure function
+/// of the series prefix, and results land in preassigned slots, so no
+/// accumulation order exists to drift); kSerial is the reference and keeps
+/// the shared pool free (test_forecast pins the parity).
+enum class BacktestExecution {
+  kParallel,  ///< origins evaluated concurrently on the shared thread pool
+  kSerial,    ///< origins evaluated in order on the calling thread
+};
+
 /// Rolling-origin backtest: starting after `min_train` samples, every
 /// `stride` samples forecast `horizon` steps ahead and record the terminal
 /// prediction vs actual. Returns (actual, predicted) aligned vectors —
-/// exactly what SMAPE comparison tables consume.
+/// exactly what SMAPE comparison tables consume. The model must already be
+/// fit; only const forecast() calls are issued, which the Forecaster
+/// contract makes safe to run concurrently.
 struct BacktestResult {
   std::vector<double> actual;
   std::vector<double> predicted;
 };
 
-[[nodiscard]] BacktestResult backtest(const Forecaster& model,
-                                      const TimeSeries& series,
-                                      std::size_t min_train, int horizon,
-                                      std::size_t stride);
+[[nodiscard]] BacktestResult backtest(
+    const Forecaster& model, const TimeSeries& series, std::size_t min_train,
+    int horizon, std::size_t stride,
+    BacktestExecution execution = BacktestExecution::kParallel);
+
+/// Fit several forecasters to the same history concurrently on the shared
+/// pool (deadlock-safe even though GBDTForecaster::fit itself parallelizes
+/// — see common/thread_pool.h on parallel_run_tasks nesting). Each fit is
+/// independent and a pure function of (model, history), so the result is
+/// identical to fitting serially.
+void fit_forecasters(std::span<Forecaster* const> models,
+                     const TimeSeries& history);
 
 }  // namespace helios::forecast

@@ -1,0 +1,139 @@
+#include "ml/failure_dataset.h"
+
+#include <algorithm>
+
+namespace helios::ml {
+
+namespace {
+
+constexpr std::int64_t kDay = 24 * 3600;
+constexpr std::int64_t kWeek = 7 * kDay;
+
+/// Count of values in [t0, t1) within an ascending vector.
+int count_in(const std::vector<std::int64_t>& v, std::int64_t t0,
+             std::int64_t t1) {
+  return static_cast<int>(std::lower_bound(v.begin(), v.end(), t1) -
+                          std::lower_bound(v.begin(), v.end(), t0));
+}
+
+}  // namespace
+
+NodeFailureHistory::NodeFailureHistory(const trace::ClusterSpec& spec,
+                                       const sim::FaultPlan& plan)
+    : begin_(plan.window_begin()), end_(plan.window_end()) {
+  vc_base_.reserve(spec.vcs.size());
+  int base = 0;
+  for (const auto& vc : spec.vcs) {
+    vc_base_.push_back(base);
+    vc_gpn_.push_back(static_cast<double>(vc.gpus_per_node));
+    vc_nodes_.push_back(static_cast<double>(vc.nodes));
+    base += vc.nodes;
+  }
+  logs_.resize(static_cast<std::size_t>(base));
+
+  for (std::size_t vi = 0; vi < spec.vcs.size(); ++vi) {
+    const int n_nodes = spec.vcs[vi].nodes;
+    // Per-node replay of the VC's merged stream. Events within one node are
+    // time-ordered (the per-VC sort is stable w.r.t. each node's sequence),
+    // and a node's stream strictly alternates failure/recovery.
+    for (const sim::NodeFaultEvent& e :
+         plan.vc_events(static_cast<int>(vi))) {
+      if (e.node < 0 || e.node >= n_nodes) continue;
+      NodeLog& log =
+          logs_[static_cast<std::size_t>(vc_base_[vi] + e.node)];
+      if (e.recovery) {
+        if (!log.down.empty() && log.down.back().second == end_) {
+          log.down.back().second = e.time;
+        }
+      } else {
+        log.failures.push_back(e.time);
+        // Recovery pending: clamp to the window end until (unless) it shows.
+        log.down.emplace_back(e.time, end_);
+      }
+    }
+  }
+}
+
+std::int64_t NodeFailureHistory::downtime_in(const NodeLog& log,
+                                             std::int64_t t0, std::int64_t t1) {
+  std::int64_t total = 0;
+  // First interval that could overlap: the one before the first starting at
+  // or after t0 may still extend into the query range.
+  auto it = std::lower_bound(
+      log.down.begin(), log.down.end(), t0,
+      [](const auto& iv, std::int64_t t) { return iv.first < t; });
+  if (it != log.down.begin()) --it;
+  for (; it != log.down.end() && it->first < t1; ++it) {
+    const std::int64_t lo = std::max(it->first, t0);
+    const std::int64_t hi = std::min(it->second, t1);
+    if (hi > lo) total += hi - lo;
+  }
+  return total;
+}
+
+int NodeFailureHistory::failures_in(int vc, int node, std::int64_t t0,
+                                    std::int64_t t1) const {
+  return count_in(log_of(vc, node).failures, t0, t1);
+}
+
+std::array<double, kFailureFeatureCount> NodeFailureHistory::features(
+    int vc, int node, std::int64_t t) const {
+  const NodeLog& log = log_of(vc, node);
+  const auto& f = log.failures;
+  const std::size_t vcs = static_cast<std::size_t>(vc);
+
+  const auto before =
+      static_cast<std::size_t>(std::lower_bound(f.begin(), f.end(), t) -
+                               f.begin());
+  const std::int64_t span = std::max<std::int64_t>(1, t - begin_);
+  const std::int64_t since_last =
+      before > 0 ? t - f[before - 1] : span;
+
+  std::array<double, kFailureFeatureCount> out{};
+  out[0] = static_cast<double>(before);
+  out[1] = static_cast<double>(count_in(f, t - kWeek, t));
+  out[2] = static_cast<double>(count_in(f, t - kDay, t));
+  out[3] = static_cast<double>(since_last);
+  out[4] = static_cast<double>(downtime_in(log, begin_, t)) /
+           static_cast<double>(span);
+  out[5] = static_cast<double>(downtime_in(log, t - kWeek, t));
+  out[6] = vc_gpn_[vcs];
+  out[7] = vc_nodes_[vcs];
+  out[8] = static_cast<double>((t / 3600) % 24);
+  out[9] = static_cast<double>((t / kDay) % 7);
+  return out;
+}
+
+Dataset build_failure_dataset(const trace::ClusterSpec& spec,
+                              const sim::FaultPlan& plan,
+                              const FailureDatasetConfig& config) {
+  Dataset data(kFailureFeatureCount);
+  const NodeFailureHistory history(spec, plan);
+  const std::int64_t step = std::max<std::int64_t>(1, config.sample_step);
+  const std::int64_t first = plan.window_begin() + config.warmup;
+  const std::int64_t last = plan.window_end() - config.horizon;
+  if (first > last) return data;
+
+  // Rows per node: sample times where the full label window fits.
+  const auto n_samples =
+      static_cast<std::size_t>((last - first) / step) + 1;
+  std::size_t n_nodes = 0;
+  for (const auto& vc : spec.vcs) n_nodes += static_cast<std::size_t>(vc.nodes);
+  data.reserve(n_samples * n_nodes);
+
+  for (std::size_t vi = 0; vi < spec.vcs.size(); ++vi) {
+    const int vc = static_cast<int>(vi);
+    for (int node = 0; node < spec.vcs[vi].nodes; ++node) {
+      for (std::int64_t t = first; t <= last; t += step) {
+        const auto row = history.features(vc, node, t);
+        const double label =
+            history.failures_in(vc, node, t, t + config.horizon) > 0 ? 1.0
+                                                                     : 0.0;
+        data.add_row(row, label);
+      }
+    }
+  }
+  return data;
+}
+
+}  // namespace helios::ml

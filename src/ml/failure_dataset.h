@@ -1,0 +1,110 @@
+// Labeled dataset builder for GPU node-failure prediction.
+//
+// "Prediction of GPU Failures Under Deep Learning Workloads" (Liu et al.,
+// on the same Helios-class clusters as the source paper) shows node failures
+// are highly skewed — a small set of unhealthy nodes fails over and over —
+// and that simple per-node history features (past failure counts, recency,
+// downtime) carry most of the predictive signal. This module turns a
+// sim::FaultPlan (the simulator's failure/recovery schedule, or the observed
+// prefix of one) into supervised rows for the histogram GBDT:
+//
+//   one row per (VC, node, sample time t on a fixed grid)
+//   features = per-node failure history strictly before t + static VC shape
+//              + calendar encoding of t           (kFailureFeatureCount)
+//   label    = 1.0 iff the node fails within [t, t + horizon)
+//
+// Only events strictly before t feed the features, so a model fit on these
+// rows never sees its own label window — the usual rolling-origin hygiene.
+//
+// Determinism: NodeFailureHistory and build_failure_dataset are pure
+// functions of (spec, plan, config); rows are emitted in (vc, node, t)
+// order. core::FailurePredictor uses the same feature encoder at ranking
+// time, so train- and inference-time features cannot drift apart.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "sim/fault_plan.h"
+#include "trace/cluster_config.h"
+
+namespace helios::ml {
+
+/// Number of features per row (the layout in NodeFailureHistory::features).
+inline constexpr std::size_t kFailureFeatureCount = 10;
+
+struct FailureDatasetConfig {
+  /// Sample-time grid spacing over the plan window, seconds.
+  std::int64_t sample_step = 6 * 3600;
+  /// Label window: a row is positive iff its node fails within
+  /// [t, t + horizon).
+  std::int64_t horizon = 24 * 3600;
+  /// Skip sample times before window_begin + warmup, so history features
+  /// are computed over a non-trivial observation span.
+  std::int64_t warmup = 24 * 3600;
+};
+
+/// Per-node failure/downtime index over a FaultPlan, answering history
+/// queries ("failures before t", "downtime in the last week") in O(log
+/// events-per-node) via binary search over per-node sorted event arrays.
+class NodeFailureHistory {
+ public:
+  NodeFailureHistory(const trace::ClusterSpec& spec, const sim::FaultPlan& plan);
+
+  /// Feature vector for (vc, node) at sample time t. Layout:
+  ///   0 failures before t (all history)
+  ///   1 failures in (t - 7d, t]
+  ///   2 failures in (t - 1d, t]
+  ///   3 seconds since the last failure before t (observation span when none)
+  ///   4 fraction of the observation span spent down
+  ///   5 downtime seconds in (t - 7d, t]
+  ///   6 GPUs per node of the VC
+  ///   7 node count of the VC
+  ///   8 hour of day of t (UTC)
+  ///   9 day of week of t (0 = Thursday, Unix epoch anchor)
+  /// Only events strictly before t contribute.
+  [[nodiscard]] std::array<double, kFailureFeatureCount> features(
+      int vc, int node, std::int64_t t) const;
+
+  /// Failures of (vc, node) with time in [t0, t1).
+  [[nodiscard]] int failures_in(int vc, int node, std::int64_t t0,
+                                std::int64_t t1) const;
+
+  [[nodiscard]] std::int64_t window_begin() const noexcept { return begin_; }
+  [[nodiscard]] std::int64_t window_end() const noexcept { return end_; }
+
+ private:
+  struct NodeLog {
+    std::vector<std::int64_t> failures;  ///< failure times, ascending
+    /// Down intervals [fail, recover), recover clamped to window_end when
+    /// the repair never completed inside the window. Ascending, disjoint.
+    std::vector<std::pair<std::int64_t, std::int64_t>> down;
+  };
+
+  [[nodiscard]] const NodeLog& log_of(int vc, int node) const noexcept {
+    return logs_[static_cast<std::size_t>(vc_base_[static_cast<std::size_t>(vc)] + node)];
+  }
+  /// Downtime seconds of `log` overlapping [t0, t1).
+  [[nodiscard]] static std::int64_t downtime_in(const NodeLog& log,
+                                                std::int64_t t0,
+                                                std::int64_t t1);
+
+  std::int64_t begin_ = 0;
+  std::int64_t end_ = 0;
+  std::vector<int> vc_base_;      ///< flat offset of each VC's first node
+  std::vector<double> vc_gpn_;    ///< GPUs per node, by VC
+  std::vector<double> vc_nodes_;  ///< node count, by VC
+  std::vector<NodeLog> logs_;
+};
+
+/// Build the labeled dataset: rows in (vc, node, sample time) order over
+/// sample times window_begin + warmup, +step, ... while t + horizon <=
+/// window_end (labels never extend past the plan, so a "no failure" label is
+/// a real observation, not missing data).
+[[nodiscard]] Dataset build_failure_dataset(const trace::ClusterSpec& spec,
+                                            const sim::FaultPlan& plan,
+                                            const FailureDatasetConfig& config);
+
+}  // namespace helios::ml

@@ -222,4 +222,46 @@ std::optional<std::int64_t> ClusterState::next_boot_ready() const noexcept {
   return boot_queue_.begin()->first;
 }
 
+void ClusterState::fail_node(int ni) {
+  Node& n = nodes_[static_cast<std::size_t>(ni)];
+  VcIndex& ix = index_[static_cast<std::size_t>(n.vc)];
+  switch (n.power) {
+    case PowerState::kFailed:
+      return;
+    case PowerState::kActive:
+      bucket_erase(n, ni);
+      ix.sched_total -= n.total_gpus;
+      ix.sched_free -= n.free_gpus;
+      break;
+    case PowerState::kSleeping:
+      ix.sleeping.erase(ni);
+      --sleeping_count_;
+      break;
+    case PowerState::kBooting:
+      ix.booting.erase(ni);
+      boot_queue_.erase({n.boot_ready, ni});
+      break;
+  }
+  n.power = PowerState::kFailed;
+  ix.failed.insert(ni);
+  ++failed_count_;
+}
+
+void ClusterState::recover_node(int ni) {
+  Node& n = nodes_[static_cast<std::size_t>(ni)];
+  if (n.power != PowerState::kFailed) return;
+  VcIndex& ix = index_[static_cast<std::size_t>(n.vc)];
+  ix.failed.erase(ni);
+  --failed_count_;
+  n.power = PowerState::kActive;
+  n.free_gpus = n.total_gpus;  // repair returns the node empty
+  bucket_insert(n, ni);
+  ix.sched_total += n.total_gpus;
+  ix.sched_free += n.free_gpus;
+}
+
+int ClusterState::failed_nodes_in_vc(int vc) const noexcept {
+  return static_cast<int>(index_[static_cast<std::size_t>(vc)].failed.size());
+}
+
 }  // namespace helios::sim

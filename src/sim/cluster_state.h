@@ -35,6 +35,7 @@ enum class PowerState : std::uint8_t {
   kActive = 0,    ///< powered on, schedulable
   kSleeping = 1,  ///< DRS deep sleep: not schedulable, ~0 W
   kBooting = 2,   ///< waking up: not schedulable until boot completes
+  kFailed = 3,    ///< hardware fault: not schedulable until repaired
 };
 
 struct Node {
@@ -152,7 +153,7 @@ class ClusterState {
   [[nodiscard]] int busy_nodes() const noexcept { return busy_nodes_; }
   [[nodiscard]] int busy_gpus() const noexcept { return busy_gpus_; }
   [[nodiscard]] int active_nodes() const noexcept {  ///< powered (incl. booting)
-    return node_count() - sleeping_count_;
+    return node_count() - sleeping_count_ - failed_count_;
   }
   [[nodiscard]] int sleeping_nodes() const noexcept { return sleeping_count_; }
 
@@ -177,6 +178,20 @@ class ClusterState {
   void finish_boots(std::int64_t now);
   /// Earliest pending boot-ready time, or nullopt.
   [[nodiscard]] std::optional<std::int64_t> next_boot_ready() const noexcept;
+
+  /// -- fault injection (used by the simulator's FaultPlan replay) --------
+  /// Take a node out of service. The caller must have released every
+  /// allocation on the node first (the simulator kills its jobs), so the
+  /// node is fully free. Works from any power state (a sleeping or booting
+  /// node can die too); no-op when already failed. The node keeps counting
+  /// toward capacity_gpus (it will be repaired), so can_ever_fit — and with
+  /// it the rejection semantics — is unaffected by transient failures.
+  void fail_node(int ni);
+  /// Return a repaired node to service, fully free and schedulable.
+  /// No-op unless the node is currently failed.
+  void recover_node(int ni);
+  [[nodiscard]] int failed_nodes() const noexcept { return failed_count_; }
+  [[nodiscard]] int failed_nodes_in_vc(int vc) const noexcept;
 
  private:
   /// Ascending set of node ids on a flat vector. VCs hold at most a few
@@ -210,6 +225,7 @@ class ClusterState {
     std::vector<NodeIdSet> by_free;
     NodeIdSet sleeping;  ///< node ids in kSleeping, ordered
     NodeIdSet booting;   ///< node ids in kBooting, ordered
+    NodeIdSet failed;    ///< node ids in kFailed, ordered
   };
 
   void apply(const Allocation& a, int sign);
@@ -227,6 +243,7 @@ class ClusterState {
   int busy_nodes_ = 0;  // maintained incrementally: O(1) busy queries
   int busy_gpus_ = 0;
   int sleeping_count_ = 0;
+  int failed_count_ = 0;
 };
 
 }  // namespace helios::sim

@@ -110,6 +110,8 @@ SimResult ClusterSimulator::run(const Trace& t) const {
     }
     result.preemptions += counters[s].preemptions;
     result.rejected_jobs += counters[s].rejected;
+    result.job_kills += counters[s].kills;
+    result.node_failures += counters[s].failures;
   }
   result.busy_nodes = nodes_acc.mean_series();
   result.busy_gpus = gpus_acc.mean_series();
@@ -132,7 +134,16 @@ SimResult ClusterSimulator::run(const Trace& t) const {
   std::vector<MeanAcc> vc_delay(n_vcs);
   std::vector<MeanAcc> vc_jct(n_vcs);
   for (const auto& o : result.outcomes) {
-    if (o.rejected || o.start == trace::kNeverStarted) continue;
+    if (o.rejected) continue;
+    if (o.start == trace::kNeverStarted || o.end == trace::kNeverStarted) {
+      // Never started inside the horizon (or killed by a failure and never
+      // rescheduled): no completion time exists, so the job cannot enter the
+      // JCT/delay means — but it *was* delayed past any threshold, so it
+      // counts as queued instead of vanishing from the stats entirely.
+      ++result.unfinished_jobs;
+      ++result.queued_jobs;
+      continue;
+    }
     jct.sum += o.jct();
     ++jct.count;
     delay.sum += o.queue_delay();
@@ -165,7 +176,10 @@ SimResult ClusterSimulator::run(const Trace& t) const {
 std::size_t apply_schedule(Trace& t, const SimResult& result) {
   std::size_t updated = 0;
   for (const auto& o : result.outcomes) {
-    if (o.start == trace::kNeverStarted) continue;
+    // Rejected jobs carry start == submit as a sentinel for reporting, but
+    // they never ran — writing that back would fabricate a schedule for a
+    // job the cluster refused (and count it as updated).
+    if (o.rejected || o.start == trace::kNeverStarted) continue;
     t.jobs()[o.trace_index].start_time = o.start;
     ++updated;
   }

@@ -18,6 +18,7 @@
 
 #include "forecast/series.h"
 #include "sim/cluster_state.h"
+#include "sim/fault_plan.h"
 #include "trace/trace.h"
 
 namespace helios::sim {
@@ -57,6 +58,23 @@ struct SimConfig {
   bool backfill = false;
   /// Cap on queue entries scanned per backfill pass.
   int backfill_depth = 256;
+  /// Optional node-failure/recovery schedule (sim/fault_plan.h). Not owned;
+  /// must outlive the run. nullptr = failure-free cluster. An injected
+  /// failure kills the jobs running on the node (their gangs release fully,
+  /// the jobs requeue with `restart` semantics) and removes the node's
+  /// capacity until its recovery event — or forever, when the repair crosses
+  /// the plan horizon.
+  const FaultPlan* fault_plan = nullptr;
+  /// Requeue semantics for jobs killed by a node failure.
+  FaultRestart restart = FaultRestart::kRestart;
+  /// Per-VC placement preference: node_order[vc][k] is the VC-local node
+  /// index ranked k-th for allocation. Nodes within a VC are homogeneous, so
+  /// the ranking only re-labels which physical node the consolidating
+  /// allocator fills first — failure-aware placement passes risk-ascending
+  /// ranks (core/failure_predictor.h) so gangs consolidate on predicted-
+  /// healthy nodes and predicted-bad ones idle. Empty (or a size mismatch
+  /// with the VC's node count) = node-id order.
+  std::vector<std::vector<std::int32_t>> node_order;
 };
 
 struct JobOutcome {
@@ -65,6 +83,7 @@ struct JobOutcome {
   std::int64_t start = trace::kNeverStarted;  ///< first launch time
   std::int64_t end = trace::kNeverStarted;
   std::int32_t gpus = 0;
+  std::int32_t kills = 0;  ///< times a node failure killed a run of this job
   int vc = -1;  ///< cluster-spec VC index
   bool rejected = false;  ///< demanded more GPUs than its VC will ever have
 
@@ -89,6 +108,14 @@ struct SimResult {
   std::int64_t queued_jobs = 0;
   std::int64_t preemptions = 0;
   std::int64_t rejected_jobs = 0;
+  /// Jobs that never finished inside the simulated horizon — still queued
+  /// (start == kNeverStarted) or killed by a failure and never rescheduled.
+  /// They count toward queued_jobs but are excluded from the JCT/delay
+  /// averages (they have no completion time), so the averages are over
+  /// finished jobs while nothing is silently dropped.
+  std::int64_t unfinished_jobs = 0;
+  std::int64_t job_kills = 0;      ///< job runs killed by node failures
+  std::int64_t node_failures = 0;  ///< failure events applied
   std::vector<VCStat> vc_stats;          ///< by cluster-spec VC index
   forecast::TimeSeries busy_nodes;       ///< mean busy nodes per bucket
   forecast::TimeSeries busy_gpus;       ///< mean busy GPUs per bucket

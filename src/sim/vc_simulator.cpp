@@ -35,6 +35,7 @@ struct QueueKey {
 struct LocalJob {
   UnixTime submit = 0;
   std::int64_t remaining = 0;  ///< seconds left to run (updates on preempt)
+  std::int64_t total = 0;      ///< full duration (FaultRestart::kRestart)
   std::size_t trace_index = 0;
   std::int32_t gpus = 0;
   double priority = 0.0;
@@ -117,9 +118,11 @@ class OrderedBitmap {
 
 /// Head-of-line queue over shard-local job ids, with a backend chosen by
 /// what the policy actually needs:
-///  * kBitmap — FIFO never reorders (arrival order IS priority order) and
-///    never re-inserts, so the live queue is an OrderedBitmap over local
-///    ids: O(1) push/remove, O(1)-ish head, in-order scans for backfill.
+///  * kBitmap — FIFO never reorders (arrival order IS priority order), so
+///    the live queue is an OrderedBitmap over local ids: O(1) push/remove,
+///    O(1)-ish head, in-order scans for backfill. A job requeued after a
+///    node-failure kill re-sets its bit, i.e. it rejoins at its submit-order
+///    position — FIFO's priority order, like every other backend.
 ///    (Presorting the other policies' static priorities to reuse the bitmap
 ///    measured slower than a heap — the per-run O(n log n) sort costs more
 ///    than the heap ops it replaces.)
@@ -321,7 +324,40 @@ VcSimulator::VcSimulator(const trace::ClusterSpec& spec, int vc,
                          const SimConfig& config, UnixTime window_begin)
     : config_(&config),
       window_begin_(window_begin),
-      state_(single_vc_spec(spec, vc)) {}
+      state_(single_vc_spec(spec, vc)) {
+  if (config.fault_plan == nullptr) return;
+  const auto events = config.fault_plan->vc_events(vc);
+  if (events.empty()) return;
+  const int n_nodes = spec.vcs[static_cast<std::size_t>(vc)].nodes;
+  // internal_of[p]: shard node id of physical node p. Nodes within a VC are
+  // homogeneous, so SimConfig::node_order only re-labels ids — rank k maps
+  // to internal id k, which the consolidating allocator fills first. Fault
+  // events name physical nodes and are translated here once.
+  std::vector<std::int32_t> internal_of;
+  if (static_cast<std::size_t>(vc) < config.node_order.size()) {
+    const auto& order = config.node_order[static_cast<std::size_t>(vc)];
+    if (static_cast<int>(order.size()) == n_nodes) {
+      internal_of.assign(static_cast<std::size_t>(n_nodes), -1);
+      for (int k = 0; k < n_nodes; ++k) {
+        const std::int32_t p = order[static_cast<std::size_t>(k)];
+        if (p < 0 || p >= n_nodes || internal_of[static_cast<std::size_t>(p)] >= 0) {
+          internal_of.clear();  // not a permutation: fall back to id order
+          break;
+        }
+        internal_of[static_cast<std::size_t>(p)] = k;
+      }
+    }
+  }
+  faults_.reserve(events.size());
+  for (const NodeFaultEvent& e : events) {
+    if (e.node < 0 || e.node >= n_nodes) continue;
+    NodeFaultEvent local = e;
+    if (!internal_of.empty()) {
+      local.node = internal_of[static_cast<std::size_t>(e.node)];
+    }
+    faults_.push_back(local);
+  }
+}
 
 VcSimulator::Counters VcSimulator::run(const Trace& t,
                                        const std::vector<std::size_t>& arrivals,
@@ -352,7 +388,8 @@ VcSimulator::Counters VcSimulator::run(const Trace& t,
     const JobRecord& j = t.jobs()[o.trace_index];
     LocalJob& job = jobs[lj];
     job.submit = o.submit;
-    job.remaining = std::max<std::int32_t>(1, j.duration);
+    job.total = std::max<std::int32_t>(1, j.duration);
+    job.remaining = job.total;
     job.trace_index = o.trace_index;
     job.gpus = o.gpus;
     job.priority = base_priority(j);
@@ -439,6 +476,40 @@ VcSimulator::Counters VcSimulator::run(const Trace& t,
     active_pos[slot] = active_slots.size();
     active_slots.push_back(slot);
     finishes.push({now + runs[slot].remaining, slot, runs[slot].generation});
+  };
+
+  // Kill every active run holding GPUs on a failing node: the whole gang
+  // releases (all-or-nothing placement dies with any of its nodes) and the
+  // job requeues under the configured restart semantics. Victims are killed
+  // in ascending slot order — a fixed order, so sharded and serial replays
+  // enqueue requeued jobs identically.
+  auto kill_runs_on_node = [&](int node, std::int64_t now) {
+    std::vector<std::size_t> victims;
+    for (std::size_t s : active_slots) {
+      for (auto [ni, g] : runs[s].alloc.node_gpus) {
+        if (ni == node) {
+          victims.push_back(s);
+          break;
+        }
+      }
+    }
+    std::sort(victims.begin(), victims.end());
+    for (std::size_t s : victims) {
+      RunningJob& r = runs[s];
+      r.active = false;
+      ++r.generation;  // invalidates the pending finish event
+      deactivate(s);
+      state_.release(r.alloc);
+      const std::size_t plj = r.local;
+      jobs[plj].remaining =
+          config_->restart == FaultRestart::kResume
+              ? std::max<std::int64_t>(1, r.remaining - (now - r.run_start))
+              : jobs[plj].total;
+      if (srtf) jobs[plj].priority = static_cast<double>(jobs[plj].remaining);
+      enqueue(plj);
+      ++counters.kills;
+      ++outcomes[arrivals[plj]].kills;
+    }
   };
 
   // Blocked-head memo: after a scheduling pass ends with an unplaceable
@@ -544,7 +615,15 @@ VcSimulator::Counters VcSimulator::run(const Trace& t,
   };
 
   std::size_t next_arrival = 0;
-  while (next_arrival < n || !finishes.empty()) {
+  std::size_t next_fault = 0;
+  const std::size_t n_faults = faults_.size();
+  // Fault events keep the loop alive only while jobs are queued: a recovery
+  // may be the event that unblocks them. With nothing queued and nothing
+  // running, remaining fault events cannot affect any outcome or busy count,
+  // so they are skipped (deterministically) and the queued jobs that never
+  // ran surface as SimResult::unfinished_jobs.
+  while (next_arrival < n || !finishes.empty() ||
+         (next_fault < n_faults && !queue.empty())) {
     // Next event time: finishes first at equal times (free before place).
     const std::int64_t arrival_time =
         next_arrival < n ? jobs[next_arrival].submit
@@ -558,7 +637,11 @@ VcSimulator::Counters VcSimulator::run(const Trace& t,
     const std::int64_t finish_time =
         finishes.empty() ? std::numeric_limits<std::int64_t>::max()
                          : finishes.top().time;
-    const std::int64_t now = std::min(arrival_time, finish_time);
+    const std::int64_t fault_time =
+        next_fault < n_faults ? faults_[next_fault].time
+                              : std::numeric_limits<std::int64_t>::max();
+    const std::int64_t now =
+        std::min(std::min(arrival_time, finish_time), fault_time);
     if (now == std::numeric_limits<std::int64_t>::max()) break;
 
     bool need_schedule = false;
@@ -574,6 +657,22 @@ VcSimulator::Counters VcSimulator::run(const Trace& t,
       state_.release(r.alloc);
       outcomes[arrivals[r.local]].end = now;
       need_schedule = true;  // freed GPUs invalidate the blocked-head memo
+    }
+    // 1b) node failures / recoveries at `now`. Recoveries sort before
+    // failures at equal times (fault_plan.cpp), so a node that flaps in the
+    // same second ends the second down. Killed jobs requeue before the
+    // scheduling pass and compete under the policy's normal order.
+    while (next_fault < n_faults && faults_[next_fault].time <= now) {
+      const NodeFaultEvent ev = faults_[next_fault];
+      ++next_fault;
+      if (ev.recovery) {
+        state_.recover_node(ev.node);
+      } else {
+        kill_runs_on_node(ev.node, now);
+        state_.fail_node(ev.node);
+        ++counters.failures;
+      }
+      need_schedule = true;
     }
     // 2) arrivals at `now`.
     while (next_arrival < n && jobs[next_arrival].submit <= now) {

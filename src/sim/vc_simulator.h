@@ -47,11 +47,16 @@ class VcSimulator {
   struct Counters {
     std::int64_t preemptions = 0;
     std::int64_t rejected = 0;
+    std::int64_t kills = 0;     ///< job runs killed by node failures
+    std::int64_t failures = 0;  ///< node-failure events applied
   };
 
   /// `vc` is the cluster-spec VC index; the shard models only that VC's
   /// nodes. `window_begin` is where busy accounting starts (the cluster-wide
-  /// series origin); `config` must be shared across shards.
+  /// series origin); `config` must be shared across shards. The shard copies
+  /// its VC's FaultPlan events up front, remapped through
+  /// SimConfig::node_order so the allocator's id-order preference follows
+  /// the configured placement ranking.
   VcSimulator(const trace::ClusterSpec& spec, int vc, const SimConfig& config,
               UnixTime window_begin);
 
@@ -73,6 +78,9 @@ class VcSimulator {
   UnixTime window_begin_;
   ClusterState state_;
   std::vector<BusySegment> segments_;
+  /// This VC's fault events, time-sorted, with `node` already translated to
+  /// the shard's internal node ids (the node_order permutation).
+  std::vector<NodeFaultEvent> faults_;
 };
 
 }  // namespace helios::sim

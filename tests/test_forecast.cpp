@@ -178,6 +178,55 @@ TEST(Backtest, EmptyForDegenerateArgs) {
   EXPECT_TRUE(backtest(model, s, 200, 5, 10).actual.empty());
 }
 
+TEST(Backtest, ParallelMatchesSerialBitIdentically) {
+  TimeSeries s = sinusoid_series(2200, 3.0, 23);
+  const std::size_t train_n = 1700;
+  GBDTForecaster gbdt;
+  gbdt.fit(s.slice(0, train_n));
+  ARForecaster ar(36, 1);
+  ar.fit(s.slice(0, train_n));
+  for (const Forecaster* m : {static_cast<const Forecaster*>(&gbdt),
+                              static_cast<const Forecaster*>(&ar)}) {
+    const auto par =
+        backtest(*m, s, train_n, 6, 12, BacktestExecution::kParallel);
+    const auto ser =
+        backtest(*m, s, train_n, 6, 12, BacktestExecution::kSerial);
+    ASSERT_EQ(par.actual.size(), ser.actual.size());
+    ASSERT_FALSE(par.actual.empty());
+    for (std::size_t i = 0; i < par.actual.size(); ++i) {
+      EXPECT_EQ(par.actual[i], ser.actual[i]);
+      EXPECT_EQ(par.predicted[i], ser.predicted[i]);
+    }
+  }
+}
+
+TEST(FitForecasters, MatchesSerialFitsBitIdentically) {
+  TimeSeries s = sinusoid_series(2200, 3.0, 29);
+  const TimeSeries train = s.slice(0, 1700);
+
+  GBDTForecaster gbdt_par;
+  ARForecaster ar_par(36, 1);
+  HoltWintersForecaster hw_par(144);
+  std::vector<Forecaster*> models = {&gbdt_par, &ar_par, &hw_par};
+  fit_forecasters(models, train);
+
+  GBDTForecaster gbdt_ser;
+  ARForecaster ar_ser(36, 1);
+  HoltWintersForecaster hw_ser(144);
+  gbdt_ser.fit(train);
+  ar_ser.fit(train);
+  hw_ser.fit(train);
+
+  const std::vector<std::pair<Forecaster*, Forecaster*>> pairs = {
+      {&gbdt_par, &gbdt_ser}, {&ar_par, &ar_ser}, {&hw_par, &hw_ser}};
+  for (const auto& [par, ser] : pairs) {
+    const auto p = par->forecast(s, 18);
+    const auto q = ser->forecast(s, 18);
+    ASSERT_EQ(p.size(), q.size());
+    for (std::size_t i = 0; i < p.size(); ++i) EXPECT_EQ(p[i], q[i]);
+  }
+}
+
 TEST(LagFeatureConfig, Counts) {
   LagFeatureConfig cfg;
   EXPECT_EQ(cfg.feature_count(), cfg.lags.size() + 2 * cfg.rolling_windows.size() + 4);

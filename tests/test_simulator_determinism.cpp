@@ -42,6 +42,7 @@ void expect_identical(const SimResult& serial, const SimResult& sharded) {
     ASSERT_EQ(a.end, b.end) << "outcome " << i;
     ASSERT_EQ(a.gpus, b.gpus) << "outcome " << i;
     ASSERT_EQ(a.vc, b.vc) << "outcome " << i;
+    ASSERT_EQ(a.kills, b.kills) << "outcome " << i;
     ASSERT_EQ(a.rejected, b.rejected) << "outcome " << i;
   }
   // Scalar metrics: exact equality — both paths fold the same integers in
@@ -51,6 +52,9 @@ void expect_identical(const SimResult& serial, const SimResult& sharded) {
   EXPECT_EQ(serial.queued_jobs, sharded.queued_jobs);
   EXPECT_EQ(serial.preemptions, sharded.preemptions);
   EXPECT_EQ(serial.rejected_jobs, sharded.rejected_jobs);
+  EXPECT_EQ(serial.unfinished_jobs, sharded.unfinished_jobs);
+  EXPECT_EQ(serial.job_kills, sharded.job_kills);
+  EXPECT_EQ(serial.node_failures, sharded.node_failures);
   ASSERT_EQ(serial.vc_stats.size(), sharded.vc_stats.size());
   for (std::size_t v = 0; v < serial.vc_stats.size(); ++v) {
     EXPECT_EQ(serial.vc_stats[v].name, sharded.vc_stats[v].name);
@@ -130,6 +134,127 @@ INSTANTIATE_TEST_SUITE_P(AllPoliciesBackfillSeeds, ShardedDeterminismTest,
                                   (info.param.backfill ? "Backfill" : "") +
                                   "Seed" + std::to_string(info.param.seed);
                          });
+
+// Fault-injected runs: same sharded-vs-serial bit-identity, now with node
+// failures killing jobs, removing capacity, and requeueing work mid-run —
+// across policies, backfill, failure rates, restart semantics, and seeds.
+struct FaultCase {
+  SchedulerPolicy policy;
+  bool backfill;
+  double mtbf_days;  ///< 0 = no fault plan attached
+  FaultRestart restart;
+  std::uint64_t seed;
+};
+
+class FaultShardedDeterminismTest
+    : public ::testing::TestWithParam<FaultCase> {};
+
+TEST_P(FaultShardedDeterminismTest, ShardedMatchesSerialUnderFaults) {
+  const FaultCase c = GetParam();
+  const Trace& t = venus_trace(c.seed);
+
+  FaultPlan plan;
+  SimConfig cfg;
+  cfg.policy = c.policy;
+  cfg.backfill = c.backfill;
+  cfg.restart = c.restart;
+  if (c.policy == SchedulerPolicy::kQssf) {
+    cfg.priority_fn = [](const trace::JobRecord& j) {
+      return static_cast<double>(j.duration) * j.num_gpus;
+    };
+  }
+  if (c.mtbf_days > 0.0) {
+    FaultPlanConfig fp;
+    fp.mtbf_days = c.mtbf_days;
+    fp.flaky_fraction = 0.25;
+    fp.seed = c.seed;
+    const auto& jobs = t.jobs();
+    const UnixTime begin = jobs.front().submit_time;
+    const UnixTime end = jobs.back().submit_time + 14 * 86400;
+    plan = FaultPlan::generate(t.cluster(), fp, begin, end);
+    cfg.fault_plan = &plan;
+  }
+
+  cfg.execution = SimExecution::kSerial;
+  const SimResult serial = ClusterSimulator(t.cluster(), cfg).run(t);
+
+  cfg.execution = SimExecution::kSharded;
+  const SimResult sharded = ClusterSimulator(t.cluster(), cfg).run(t);
+  expect_identical(serial, sharded);
+
+  const SimResult again = ClusterSimulator(t.cluster(), cfg).run(t);
+  expect_identical(sharded, again);
+
+  if (c.mtbf_days > 0.0 && c.mtbf_days <= 30.0) {
+    // A churn-level plan over a months-long window must actually exercise
+    // the fault path, or this sweep tests nothing.
+    EXPECT_GT(serial.node_failures, 0);
+    EXPECT_GT(serial.job_kills, 0);
+  }
+}
+
+std::vector<FaultCase> fault_cases() {
+  std::vector<FaultCase> cases;
+  for (const auto policy :
+       {SchedulerPolicy::kFifo, SchedulerPolicy::kSjf, SchedulerPolicy::kSrtf,
+        SchedulerPolicy::kQssf}) {
+    for (const bool backfill : {false, true}) {
+      for (const double mtbf : {30.0, 7.0}) {
+        for (const std::uint64_t seed : {7ull, 19ull}) {
+          const auto restart = (seed % 2 == 1) == backfill
+                                   ? FaultRestart::kResume
+                                   : FaultRestart::kRestart;
+          cases.push_back({policy, backfill, mtbf, restart, seed});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesBackfillRatesSeeds, FaultShardedDeterminismTest,
+    ::testing::ValuesIn(fault_cases()), [](const auto& info) {
+      return std::string(to_string(info.param.policy)) +
+             (info.param.backfill ? "Backfill" : "") + "Mtbf" +
+             std::to_string(static_cast<int>(info.param.mtbf_days)) +
+             (info.param.restart == FaultRestart::kResume ? "Resume"
+                                                          : "Restart") +
+             "Seed" + std::to_string(info.param.seed);
+    });
+
+// Failure-aware placement: a node_order permutation must preserve the
+// sharded/serial bit-identity too (fault events are remapped per shard).
+TEST(FaultShardedDeterminism, NodeOrderPermutationStaysDeterministic) {
+  const Trace& t = venus_trace(7);
+  FaultPlanConfig fp;
+  fp.mtbf_days = 10.0;
+  fp.flaky_fraction = 0.3;
+  fp.seed = 99;
+  const auto& jobs = t.jobs();
+  const FaultPlan plan =
+      FaultPlan::generate(t.cluster(), fp, jobs.front().submit_time,
+                          jobs.back().submit_time + 14 * 86400);
+
+  SimConfig cfg;
+  cfg.policy = SchedulerPolicy::kFifo;
+  cfg.backfill = true;
+  cfg.fault_plan = &plan;
+  // Reverse every VC's placement order — a maximal relabeling.
+  for (const auto& vc : t.cluster().vcs) {
+    std::vector<std::int32_t> order(static_cast<std::size_t>(vc.nodes));
+    for (int i = 0; i < vc.nodes; ++i) {
+      order[static_cast<std::size_t>(i)] = vc.nodes - 1 - i;
+    }
+    cfg.node_order.push_back(std::move(order));
+  }
+
+  cfg.execution = SimExecution::kSerial;
+  const SimResult serial = ClusterSimulator(t.cluster(), cfg).run(t);
+  cfg.execution = SimExecution::kSharded;
+  const SimResult sharded = ClusterSimulator(t.cluster(), cfg).run(t);
+  expect_identical(serial, sharded);
+}
 
 // A hand-built multi-VC trace with same-timestamp arrivals and finishes in
 // different VCs: the classic race surface for a sharded event loop.
