@@ -4,7 +4,7 @@
 //
 // The BM_GbdtFit / BM_GbdtPredictMany / BM_OnlineEvaluator benches run the
 // histogram engine (GBDTEngine::kHistogram) and the chunked evaluator
-// (EvalExecution::kChunked); the *Reference / *Serial variants run the
+// (common::ExecMode::kParallel); the *Reference / *Serial variants run the
 // retained baselines for comparison. main() first asserts bit-for-bit
 // parity — histogram-vs-reference models (same trees, same training RMSE)
 // and chunked-vs-serial evaluator priorities — so a perf run against a
@@ -158,7 +158,7 @@ struct EvalFixture {
   }
 };
 
-void run_evaluator(benchmark::State& state, core::EvalExecution execution) {
+void run_evaluator(benchmark::State& state, helios::common::ExecMode execution) {
   const auto& fx = EvalFixture::instance();
   core::EvalOptions opts;
   opts.execution = execution;
@@ -174,10 +174,10 @@ void run_evaluator(benchmark::State& state, core::EvalExecution execution) {
 }
 
 void BM_OnlineEvaluator(benchmark::State& state) {
-  run_evaluator(state, core::EvalExecution::kChunked);
+  run_evaluator(state, helios::common::ExecMode::kParallel);
 }
 void BM_OnlineEvaluatorSerial(benchmark::State& state) {
-  run_evaluator(state, core::EvalExecution::kSerial);
+  run_evaluator(state, helios::common::ExecMode::kSerial);
 }
 BENCHMARK(BM_OnlineEvaluator)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_OnlineEvaluatorSerial)->Unit(benchmark::kMillisecond);
@@ -322,7 +322,7 @@ void verify_parity() {
   serial_svc.fit(train);
   chunked_svc.fit(train);
   core::EvalOptions serial_opts;
-  serial_opts.execution = core::EvalExecution::kSerial;
+  serial_opts.execution = helios::common::ExecMode::kSerial;
   core::EvalOptions chunked_opts;
   chunked_opts.min_window = 1;
   chunked_opts.max_windows = 7;  // force the window machinery on any machine

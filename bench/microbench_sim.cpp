@@ -2,7 +2,7 @@
 // discrete-event simulator (jobs scheduled per second of wall time).
 //
 // The BM_Simulate* benches run the VC-sharded simulator (the default
-// SimExecution::kSharded) over a cached multi-VC Venus trace at scale 0.1;
+// common::ExecMode::kParallel) over a cached multi-VC Venus trace at scale 0.1;
 // BM_SimulateSerial* runs the retained serial reference for comparison.
 // main() first asserts sharded-vs-serial SimResult parity for every policy —
 // a perf run against a broken simulator must fail loudly, not report a
@@ -44,7 +44,7 @@ const trace::Trace& cached_trace() {
 }
 
 sim::SimConfig policy_config(sim::SchedulerPolicy policy,
-                             sim::SimExecution execution) {
+                             helios::common::ExecMode execution) {
   sim::SimConfig cfg;
   cfg.policy = policy;
   cfg.execution = execution;
@@ -57,7 +57,7 @@ sim::SimConfig policy_config(sim::SchedulerPolicy policy,
 }
 
 void run_policy(benchmark::State& state, sim::SchedulerPolicy policy,
-                sim::SimExecution execution) {
+                helios::common::ExecMode execution) {
   const auto& t = cached_trace();
   const auto cfg = policy_config(policy, execution);
   std::size_t jobs = 0;
@@ -72,16 +72,16 @@ void run_policy(benchmark::State& state, sim::SchedulerPolicy policy,
 }
 
 void BM_SimulateFifo(benchmark::State& state) {
-  run_policy(state, sim::SchedulerPolicy::kFifo, sim::SimExecution::kSharded);
+  run_policy(state, sim::SchedulerPolicy::kFifo, helios::common::ExecMode::kParallel);
 }
 void BM_SimulateSjf(benchmark::State& state) {
-  run_policy(state, sim::SchedulerPolicy::kSjf, sim::SimExecution::kSharded);
+  run_policy(state, sim::SchedulerPolicy::kSjf, helios::common::ExecMode::kParallel);
 }
 void BM_SimulateSrtf(benchmark::State& state) {
-  run_policy(state, sim::SchedulerPolicy::kSrtf, sim::SimExecution::kSharded);
+  run_policy(state, sim::SchedulerPolicy::kSrtf, helios::common::ExecMode::kParallel);
 }
 void BM_SimulateQssf(benchmark::State& state) {
-  run_policy(state, sim::SchedulerPolicy::kQssf, sim::SimExecution::kSharded);
+  run_policy(state, sim::SchedulerPolicy::kQssf, helios::common::ExecMode::kParallel);
 }
 BENCHMARK(BM_SimulateFifo)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulateSjf)->Unit(benchmark::kMillisecond);
@@ -89,16 +89,16 @@ BENCHMARK(BM_SimulateSrtf)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulateQssf)->Unit(benchmark::kMillisecond);
 
 void BM_SimulateSerialFifo(benchmark::State& state) {
-  run_policy(state, sim::SchedulerPolicy::kFifo, sim::SimExecution::kSerial);
+  run_policy(state, sim::SchedulerPolicy::kFifo, helios::common::ExecMode::kSerial);
 }
 void BM_SimulateSerialSjf(benchmark::State& state) {
-  run_policy(state, sim::SchedulerPolicy::kSjf, sim::SimExecution::kSerial);
+  run_policy(state, sim::SchedulerPolicy::kSjf, helios::common::ExecMode::kSerial);
 }
 void BM_SimulateSerialSrtf(benchmark::State& state) {
-  run_policy(state, sim::SchedulerPolicy::kSrtf, sim::SimExecution::kSerial);
+  run_policy(state, sim::SchedulerPolicy::kSrtf, helios::common::ExecMode::kSerial);
 }
 void BM_SimulateSerialQssf(benchmark::State& state) {
-  run_policy(state, sim::SchedulerPolicy::kQssf, sim::SimExecution::kSerial);
+  run_policy(state, sim::SchedulerPolicy::kQssf, helios::common::ExecMode::kSerial);
 }
 BENCHMARK(BM_SimulateSerialFifo)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulateSerialSjf)->Unit(benchmark::kMillisecond);
@@ -114,11 +114,11 @@ void verify_sharded_parity() {
         sim::SchedulerPolicy::kSrtf, sim::SchedulerPolicy::kQssf}) {
     const auto serial =
         sim::ClusterSimulator(t.cluster(),
-                              policy_config(policy, sim::SimExecution::kSerial))
+                              policy_config(policy, helios::common::ExecMode::kSerial))
             .run(t);
     const auto sharded =
         sim::ClusterSimulator(
-            t.cluster(), policy_config(policy, sim::SimExecution::kSharded))
+            t.cluster(), policy_config(policy, helios::common::ExecMode::kParallel))
             .run(t);
     bool ok = serial.outcomes.size() == sharded.outcomes.size() &&
               serial.avg_jct == sharded.avg_jct &&

@@ -5,7 +5,15 @@
 #   ./ci.sh smoke      full build + fast suites only (ctest -L smoke)
 #   ./ci.sh bench      full build + microbenchmark smoke run (short
 #                      --benchmark_min_time so perf regressions fail loudly
-#                      instead of silently; binaries are built -O2 -DNDEBUG)
+#                      instead of silently; binaries are built -O2 -DNDEBUG);
+#                      also runs the serve replay driver, which writes
+#                      build/BENCH_svc.json
+#   ./ci.sh serve      full build + streaming-service replay at small scale:
+#                      example_serve_replay tails a growing CSV, ingests it
+#                      through svc::PredictionServer with a mid-replay
+#                      kill/restore, and exits non-zero unless the streamed
+#                      priorities are bit-identical to the batch evaluator
+#                      and every checkpoint is an exact prefix
 #   ./ci.sh docs       no build: verify that docs/ARCHITECTURE.md and
 #                      docs/FORMATS.md only reference files and CMake
 #                      targets that still exist
@@ -21,8 +29,8 @@ cd "$(dirname "$0")"
 mode="${1:-full}"
 [ $# -gt 0 ] && shift
 case "$mode" in
-  full|smoke|bench|docs|asan) ;;
-  *) echo "usage: ./ci.sh [full|smoke|bench|docs|asan] [args...]" >&2; exit 2 ;;
+  full|smoke|bench|serve|docs|asan) ;;
+  *) echo "usage: ./ci.sh [full|smoke|bench|serve|docs|asan] [args...]" >&2; exit 2 ;;
 esac
 
 # Grep-based link/target validator: every backticked repo path, every
@@ -121,6 +129,20 @@ if [ "$mode" = bench ]; then
   HELIOS_INGEST_ROWS="${HELIOS_INGEST_ROWS:-100000}" \
   HELIOS_INGEST_REPS="${HELIOS_INGEST_REPS:-1}" \
     build/microbench_ingest
+  # Streaming-service replay: parity-gated, and the source of BENCH_svc.json
+  # (snapshot-query p50/p99 latency + ingest throughput).
+  HELIOS_SERVE_SCALE="${HELIOS_SERVE_SCALE:-0.05}" \
+  HELIOS_SERVE_OUT=build/BENCH_svc.json \
+    build/example_serve_replay
+  exit 0
+fi
+
+if [ "$mode" = serve ]; then
+  # Serve-while-learning gate at small scale: any priority that is not
+  # bit-identical to the batch pipeline — including across the mid-replay
+  # kill/restore — exits non-zero and fails CI.
+  HELIOS_SERVE_SCALE="${HELIOS_SERVE_SCALE:-0.02}" \
+    build/example_serve_replay
   exit 0
 fi
 

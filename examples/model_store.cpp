@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
 #include "core/qssf_service.h"
@@ -42,20 +43,15 @@ struct Workload {
 };
 
 void save_service(const core::QssfService& service, const std::string& path) {
-  serialize::Writer w;
-  service.save(w);
-  serialize::write_file(path, w);
-  // Framed size = body + 16-byte header + 4-byte CRC trailer (docs/FORMATS.md).
-  std::printf("saved %s (%zu bytes framed)\n", path.c_str(),
-              w.buffer().size() + 20);
+  serialize::save_file(path, service);
+  std::error_code ec;
+  const auto bytes = std::filesystem::file_size(path, ec);
+  std::printf("saved %s (%llu bytes framed)\n", path.c_str(),
+              static_cast<unsigned long long>(ec ? 0 : bytes));
 }
 
 core::QssfService load_service(const std::string& path) {
-  const std::vector<std::uint8_t> body = serialize::read_file(path);
-  serialize::Reader r(body);
-  core::QssfService service;
-  service.load(r);
-  return service;
+  return serialize::load_file<core::QssfService>(path);
 }
 
 int cmd_fit(const std::string& path, double scale) {

@@ -49,14 +49,11 @@ const RollingEstimator::NameEntry* RollingEstimator::find_name(
   return best;
 }
 
-void RollingEstimator::observe(const Trace& t, const JobRecord& job) {
-  if (!job.is_gpu_job()) return;
-  // Dedupe: the Model Update Engine may be fed cumulative traces
-  // (QssfService::update), and re-observing a job would double-count the
-  // global/user sums and re-decay the name EWMAs. Keyed on job identity
-  // *content* (id + submit + duration + demand + user), not the id alone —
-  // independently built traces restart ids at 0, and an id collision across
-  // lineages must not silently drop a genuinely new observation.
+std::uint64_t RollingEstimator::dedupe_key(const JobRecord& job) noexcept {
+  // Keyed on job identity *content* (id + submit + duration + demand +
+  // user), not the id alone — independently built traces restart ids at 0,
+  // and an id collision across lineages must not silently drop a genuinely
+  // new observation.
   std::uint64_t key = job.job_id;
   key = (key ^ static_cast<std::uint64_t>(job.submit_time)) * 0x9e3779b97f4a7c15ULL;
   key = (key ^ ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(job.duration))
@@ -64,7 +61,15 @@ void RollingEstimator::observe(const Trace& t, const JobRecord& job) {
                 ((static_cast<std::uint64_t>(job.user) << 8) ^
                  static_cast<std::uint32_t>(job.num_gpus)))) *
         0xbf58476d1ce4e5b9ULL;
-  if (!observed_ids_.insert(key).second) return;
+  return key;
+}
+
+void RollingEstimator::observe(const Trace& t, const JobRecord& job) {
+  if (!job.is_gpu_job()) return;
+  // Dedupe: the Model Update Engine may be fed cumulative traces
+  // (QssfService::update), and re-observing a job would double-count the
+  // global/user sums and re-decay the name EWMAs.
+  if (!observed_ids_.insert(dedupe_key(job)).second) return;
   const double dur = static_cast<double>(job.duration);
   ++observe_counter_;
 
@@ -108,10 +113,16 @@ void RollingEstimator::observe(const Trace& t, const JobRecord& job) {
 }
 
 double RollingEstimator::estimate(const Trace& t, const JobRecord& job) const {
-  const auto user_it = users_.find(t.user_name(job));
+  return estimate(t.user_name(job), t.job_name(job), job.num_gpus);
+}
+
+double RollingEstimator::estimate(const std::string& user,
+                                  const std::string& job_name,
+                                  int num_gpus) const {
+  const auto user_it = users_.find(user);
   if (user_it == users_.end()) {
     // New user: cluster-wide mean duration for this GPU demand (line 14).
-    const auto it = global_by_gpus_.find(job.num_gpus);
+    const auto it = global_by_gpus_.find(num_gpus);
     if (it != global_by_gpus_.end() && it->second.second > 0) {
       return it->second.first / static_cast<double>(it->second.second);
     }
@@ -120,18 +131,86 @@ double RollingEstimator::estimate(const Trace& t, const JobRecord& job) const {
   }
   const UserHistory& u = user_it->second;
   if (use_names_) {
-    if (const NameEntry* e = find_name(u, t.job_name(job));
+    if (const NameEntry* e = find_name(u, job_name);
         e != nullptr && e->weight > 0.0) {
       // Similar name: exponentially-weighted decay of its durations (line 18).
       return e->ewma_duration / e->weight;
     }
   }
   // Known user, new job name: user's mean for this GPU demand (line 16).
-  const auto it = u.by_gpus.find(job.num_gpus);
+  const auto it = u.by_gpus.find(num_gpus);
   if (it != u.by_gpus.end() && it->second.second > 0) {
     return it->second.first / static_cast<double>(it->second.second);
   }
   return u.jobs > 0 ? u.duration_sum / static_cast<double>(u.jobs) : 600.0;
+}
+
+// ---------------------------------------------------------------------------
+// RollingOverlay
+// ---------------------------------------------------------------------------
+
+RollingOverlay::RollingOverlay(std::shared_ptr<const RollingEstimator> base)
+    : base_(std::move(base)) {
+  if (!base_) return;
+  // The delta starts as the base minus its per-user map and dedupe set:
+  // knobs and global fallbacks copy over (globals advance on every observe,
+  // so they must live in the delta), user histories materialize lazily.
+  delta_.use_names_ = base_->use_names_;
+  delta_.name_match_threshold_ = base_->name_match_threshold_;
+  delta_.rolling_decay_ = base_->rolling_decay_;
+  delta_.max_names_per_user_ = base_->max_names_per_user_;
+  delta_.global_by_gpus_ = base_->global_by_gpus_;
+  delta_.global_duration_sum_ = base_->global_duration_sum_;
+  delta_.global_jobs_ = base_->global_jobs_;
+  delta_.observe_counter_ = base_->observe_counter_;
+}
+
+void RollingOverlay::observe(const Trace& t, const JobRecord& job) {
+  if (!base_) {
+    delta_.observe(t, job);
+    return;
+  }
+  if (!job.is_gpu_job()) return;
+  // The base's dedupe set is checked here (it never migrates into the
+  // delta); a job the base already folded in must stay a no-op.
+  if (base_->observed_ids_.contains(RollingEstimator::dedupe_key(job))) return;
+  const std::string& user = t.user_name(job);
+  if (!delta_.users_.contains(user)) {
+    if (const auto it = base_->users_.find(user); it != base_->users_.end()) {
+      delta_.users_.emplace(user, it->second);  // copy-on-first-touch
+    }
+  }
+  delta_.observe(t, job);
+}
+
+double RollingOverlay::estimate(const Trace& t, const JobRecord& job) const {
+  return estimate(t.user_name(job), t.job_name(job), job.num_gpus);
+}
+
+double RollingOverlay::estimate(const std::string& user,
+                                const std::string& job_name,
+                                int num_gpus) const {
+  // Route by history ownership: a delta user has the evolved copy; a
+  // base-only user's estimate never reads the global fallbacks (known users
+  // have jobs >= 1), so the base answers bit-identically; an unknown user
+  // needs the *live* globals, which the delta carries.
+  if (base_ && !delta_.users_.contains(user) && base_->users_.contains(user)) {
+    return base_->estimate(user, job_name, num_gpus);
+  }
+  return delta_.estimate(user, job_name, num_gpus);
+}
+
+RollingEstimator RollingOverlay::materialize() const {
+  if (!base_) return delta_;
+  RollingEstimator out = *base_;
+  out.global_by_gpus_ = delta_.global_by_gpus_;
+  out.global_duration_sum_ = delta_.global_duration_sum_;
+  out.global_jobs_ = delta_.global_jobs_;
+  out.observe_counter_ = delta_.observe_counter_;
+  for (const auto& [user, hist] : delta_.users_) out.users_[user] = hist;
+  out.observed_ids_.insert(delta_.observed_ids_.begin(),
+                           delta_.observed_ids_.end());
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -394,6 +473,47 @@ double QssfService::priority(const Trace& t, const JobRecord& job) const {
   return combine(config_, rolling_estimate(t, job), ml_estimate(t, job), job);
 }
 
+void QssfService::encode_frozen(const JobQuery& query,
+                                std::vector<double>& out) const {
+  // Column-for-column the layout of encode(); the name bucket comes from the
+  // const lookup, with an unseen name mapped to bucket_count() — the id
+  // bucket() would mint for it, so freezing never changes a feature value.
+  out.clear();
+  out.reserve(kFeatureCount);
+  const CivilTime c = to_civil(query.submit_time);
+  out.push_back(static_cast<double>(query.num_gpus));
+  out.push_back(static_cast<double>(query.num_cpus));
+  out.push_back(static_cast<double>(query.vc_id));
+  out.push_back(static_cast<double>(query.user_id));
+  double bucket = 0.0;
+  if (config_.use_names) {
+    const std::uint32_t b = name_buckets_.lookup(query.job_name);
+    bucket = static_cast<double>(
+        b == ml::NameBucketizer::kNoBucket ? name_buckets_.bucket_count() : b);
+  }
+  out.push_back(bucket);
+  out.push_back(static_cast<double>(c.month));
+  out.push_back(static_cast<double>(c.weekday));
+  out.push_back(static_cast<double>(c.hour));
+  out.push_back(static_cast<double>(c.minute));
+}
+
+double QssfService::predict_duration(const JobQuery& query) const {
+  const double pr = rolling_.estimate(query.user, query.job_name, query.num_gpus);
+  double pm = pr;
+  if (model_.trained()) {
+    std::vector<double> row;
+    encode_frozen(query, row);
+    pm = std::max(1.0, std::expm1(model_.predict(row)));
+  }
+  return config_.lambda * pr + (1.0 - config_.lambda) * pm;
+}
+
+double QssfService::priority(const JobQuery& query) const {
+  return static_cast<double>(std::max(1, static_cast<int>(query.num_gpus))) *
+         predict_duration(query);
+}
+
 // ---------------------------------------------------------------------------
 // OnlinePriorityEvaluator
 // ---------------------------------------------------------------------------
@@ -401,33 +521,16 @@ double QssfService::priority(const Trace& t, const JobRecord& job) const {
 OnlinePriorityEvaluator::OnlinePriorityEvaluator(QssfService& service,
                                                  const Trace& eval,
                                                  EvalOptions options) {
-  if (options.execution == EvalExecution::kSerial) {
+  if (options.execution == common::ExecMode::kSerial) {
     run_serial(service, eval);
   } else {
     run_chunked(service, eval, options);
   }
 }
 
-void OnlinePriorityEvaluator::drain_finished(std::vector<Pending>& pending,
-                                             std::int64_t now, const Trace& eval,
-                                             RollingEstimator& rolling) {
-  while (!pending.empty() && pending.front().finish <= now) {
-    std::pop_heap(pending.begin(), pending.end(), pending_after);
-    rolling.observe(eval, eval.jobs()[pending.back().index]);
-    pending.pop_back();
-  }
-}
-
-void OnlinePriorityEvaluator::push_pending(std::vector<Pending>& pending,
-                                           const JobRecord& job,
-                                           std::uint32_t index) {
-  pending.push_back({job.submit_time + job.duration, index});
-  std::push_heap(pending.begin(), pending.end(), pending_after);
-}
-
 void OnlinePriorityEvaluator::run_serial(QssfService& service,
                                          const Trace& eval) {
-  std::vector<Pending> pending;
+  ReplayQueue pending;
   priorities_.reserve(eval.size());
   for (std::size_t i = 0; i < eval.size(); ++i) {
     const JobRecord& job = eval.jobs()[i];
@@ -435,12 +538,14 @@ void OnlinePriorityEvaluator::run_serial(QssfService& service,
     // Fold in every job that has (approximately) finished by now; queuing
     // delay is unknown at this point, so submit+duration approximates the
     // termination feed of the Model Update Engine.
-    drain_finished(pending, job.submit_time, eval, service.rolling_);
+    pending.drain(job.submit_time, [&](std::uint32_t idx) {
+      service.rolling_.observe(eval, eval.jobs()[idx]);
+    });
     const double p = service.priority(eval, job);
     priorities_.emplace(job.job_id, p);
     predicted_.push_back(p);
     actual_.push_back(job.gpu_time());
-    push_pending(pending, job, static_cast<std::uint32_t>(i));
+    pending.push(job, static_cast<std::uint32_t>(i));
   }
 }
 
@@ -484,23 +589,31 @@ void OnlinePriorityEvaluator::run_chunked(QssfService& service,
   }
 
   // Serial pre-pass: replay only the observe stream through all but the last
-  // window, snapshotting (rolling state, pending heap) at each boundary. The
-  // heap executes the same push/pop sequence the serial path would, so the
+  // window, snapshotting (rolling overlay, pending heap) at each boundary.
+  // The service's pre-eval rolling state moves behind one immutable shared
+  // base — copied zero times here — and each boundary snapshot is a
+  // copy-on-write overlay carrying only the user histories the observe
+  // stream has touched so far, not the full multi-month user map. The heap
+  // executes the same push/pop sequence the serial path would, so the
   // snapshot layouts — and therefore pop order — are identical.
+  const auto base =
+      std::make_shared<const RollingEstimator>(std::move(service.rolling_));
   struct Snapshot {
-    RollingEstimator rolling;
-    std::vector<Pending> heap;
+    RollingOverlay rolling;
+    ReplayQueue heap;
   };
   std::vector<Snapshot> snaps(n_windows);
-  snaps[0] = {service.rolling_, {}};
   {
-    RollingEstimator& live = service.rolling_;
-    std::vector<Pending> pending;
+    RollingOverlay live{base};
+    ReplayQueue pending;
+    snaps[0] = {live, pending};
     for (std::size_t w = 0; w + 1 < n_windows; ++w) {
       for (std::size_t pos = start[w]; pos < start[w + 1]; ++pos) {
         const JobRecord& job = jobs[gpu[pos]];
-        drain_finished(pending, job.submit_time, eval, live);
-        push_pending(pending, job, gpu[pos]);
+        pending.drain(job.submit_time, [&](std::uint32_t idx) {
+          live.observe(eval, jobs[idx]);
+        });
+        pending.push(job, gpu[pos]);
       }
       snaps[w + 1] = {live, pending};
     }
@@ -521,8 +634,8 @@ void OnlinePriorityEvaluator::run_chunked(QssfService& service,
   tasks.reserve(n_windows);
   for (std::size_t w = 0; w < n_windows; ++w) {
     tasks.push_back([&, w] {
-      RollingEstimator local = std::move(snaps[w].rolling);
-      std::vector<Pending> pending = std::move(snaps[w].heap);
+      RollingOverlay local = std::move(snaps[w].rolling);
+      ReplayQueue pending = std::move(snaps[w].heap);
       WindowResult& out = results[w];
       const std::size_t count = start[w + 1] - start[w];
       out.priorities.reserve(count);
@@ -530,7 +643,9 @@ void OnlinePriorityEvaluator::run_chunked(QssfService& service,
       out.actual.reserve(count);
       for (std::size_t pos = start[w]; pos < start[w + 1]; ++pos) {
         const JobRecord& job = jobs[gpu[pos]];
-        drain_finished(pending, job.submit_time, eval, local);
+        pending.drain(job.submit_time, [&](std::uint32_t idx) {
+          local.observe(eval, jobs[idx]);
+        });
         const double pr = local.estimate(eval, job);
         // Untrained model: ml_estimate falls back to the rolling estimate,
         // bitwise pr (it is a pure function of the same state).
@@ -539,15 +654,16 @@ void OnlinePriorityEvaluator::run_chunked(QssfService& service,
         out.priorities.emplace_back(job.job_id, p);
         out.predicted.push_back(p);
         out.actual.push_back(job.gpu_time());
-        push_pending(pending, job, gpu[pos]);
+        pending.push(job, gpu[pos]);
       }
-      if (w + 1 == n_windows) final_rolling = std::move(local);
+      // The last window saw every observe the serial path applies;
+      // flattening its overlay (the one full base copy of the whole chunked
+      // pass) reproduces exactly the state kSerial would leave behind.
+      if (w + 1 == n_windows) final_rolling = local.materialize();
     });
   }
   parallel_run_tasks(std::move(tasks));
 
-  // The last window saw every observe the serial path applies; adopting its
-  // state leaves the service exactly where kSerial would.
   service.rolling_ = std::move(final_rolling);
 
   priorities_.reserve(gpu.size());

@@ -45,6 +45,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/exec_mode.h"
 #include "core/framework.h"
 #include "ml/gbdt.h"
 #include "ml/levenshtein.h"
@@ -105,6 +106,13 @@ class RollingEstimator {
   [[nodiscard]] double estimate(const trace::Trace& t,
                                 const trace::JobRecord& job) const;
 
+  /// Trace-free overload for callers that hold raw strings instead of a
+  /// Trace (the serving layer's query path); the Trace overload delegates
+  /// here, so both are the same algorithm.
+  [[nodiscard]] double estimate(const std::string& user,
+                                const std::string& job_name,
+                                int num_gpus) const;
+
   [[nodiscard]] std::int64_t observed_jobs() const noexcept { return global_jobs_; }
 
   /// Persist / restore the full rolling state ("ROLL" section,
@@ -117,6 +125,8 @@ class RollingEstimator {
   void load(serialize::Reader& r);
 
  private:
+  friend class RollingOverlay;  // copy-on-write view; reads the raw maps
+
   struct NameEntry {
     std::string name;
     double ewma_duration = 0.0;
@@ -138,12 +148,78 @@ class RollingEstimator {
   double rolling_decay_ = 0.75;
   std::size_t max_names_per_user_ = 64;
 
+  /// Content-hash identity of a job for the observe dedupe set.
+  [[nodiscard]] static std::uint64_t dedupe_key(
+      const trace::JobRecord& job) noexcept;
+
   std::unordered_map<std::string, UserHistory> users_;
   std::unordered_map<int, std::pair<double, std::int64_t>> global_by_gpus_;
   double global_duration_sum_ = 0.0;
   std::int64_t global_jobs_ = 0;
   std::uint64_t observe_counter_ = 0;
   std::unordered_set<std::uint64_t> observed_ids_;  // content-hash keys
+};
+
+/// Copy-on-write view over an immutable shared RollingEstimator. Reads fall
+/// through to the base; an observe materializes only the touched user's
+/// history into a private delta estimator (whose global fallbacks are live
+/// from construction, since they advance with every observe). Copying an
+/// overlay copies the delta, not the base — which is what makes windowed
+/// evaluation snapshots cheap: n windows share one multi-month base and each
+/// carries only the users its prefix of the observe stream touched.
+///
+/// Bit-parity contract: observe() delegates to RollingEstimator::observe on
+/// the delta after seeding it with the base's state for that user, and
+/// estimate() routes each user to whichever side owns its history, so an
+/// overlay is observationally bit-identical to a plain estimator that
+/// started from a copy of the base (test_prediction_parity gates this
+/// through the chunked-vs-serial evaluator comparison).
+///
+/// Thread-safety: like RollingEstimator, externally synchronized; distinct
+/// overlays over the same base may be used from distinct threads freely
+/// (the base is never written through this class).
+class RollingOverlay {
+ public:
+  RollingOverlay() = default;
+  explicit RollingOverlay(std::shared_ptr<const RollingEstimator> base);
+
+  /// Absorb one finished GPU job (idempotent per job identity, across both
+  /// the base's and the delta's dedupe sets).
+  void observe(const trace::Trace& t, const trace::JobRecord& job);
+
+  [[nodiscard]] double estimate(const trace::Trace& t,
+                                const trace::JobRecord& job) const;
+  [[nodiscard]] double estimate(const std::string& user,
+                                const std::string& job_name,
+                                int num_gpus) const;
+
+  /// Flatten base + delta into a standalone estimator (one full base copy —
+  /// the windowed evaluator calls this once, for the final window's state).
+  [[nodiscard]] RollingEstimator materialize() const;
+
+  /// Users whose histories the delta owns (introspection for tests).
+  [[nodiscard]] std::size_t delta_users() const noexcept {
+    return delta_.users_.size();
+  }
+
+ private:
+  std::shared_ptr<const RollingEstimator> base_;  // null = plain estimator
+  RollingEstimator delta_;
+};
+
+/// A job described by raw strings plus pre-resolved feature ids — the query
+/// shape of the serving layer (svc::), which prices jobs that have no Trace
+/// row yet. user_id/vc_id must be resolved against the interners of the
+/// trace the service learned from (an unseen value maps to interner size,
+/// the id a fresh intern would have received — svc::Snapshot does this).
+struct JobQuery {
+  std::string user;          ///< submitting user (rolling-estimator key)
+  std::string job_name;      ///< job name (name match + bucket feature)
+  std::uint32_t user_id = 0; ///< trace interner id of `user`
+  std::uint32_t vc_id = 0;   ///< trace interner id of the virtual cluster
+  std::int32_t num_gpus = 1;
+  std::int32_t num_cpus = 0;
+  UnixTime submit_time = 0;
 };
 
 class QssfService final : public Service {
@@ -178,6 +254,16 @@ class QssfService final : public Service {
   [[nodiscard]] double ml_estimate(const trace::Trace& t,
                                    const trace::JobRecord& job) const;
 
+  /// Frozen-service variants of predict_duration()/priority() for the
+  /// concurrent query path (svc::PredictionServer snapshots): never mutate —
+  /// the job name goes through the const NameBucketizer::lookup(), with an
+  /// unseen name mapped to bucket_count(), exactly the id the mutating path
+  /// would mint for it — so any number of threads may call these on a shared
+  /// service with no synchronization, and for a name the service has already
+  /// priced once the result is bit-identical to the Trace-based accessors.
+  [[nodiscard]] double predict_duration(const JobQuery& query) const;
+  [[nodiscard]] double priority(const JobQuery& query) const;
+
   /// λ-merge of the two estimates scaled to GPU time — the single definition
   /// of Priority() shared by the serial and the windowed evaluation paths.
   [[nodiscard]] static double combine(const QssfConfig& config, double rolling,
@@ -198,7 +284,7 @@ class QssfService final : public Service {
 
   /// Persist the whole service ("QSSF" frame, docs/FORMATS.md): config,
   /// GBDT model, name buckets, and rolling state. Wrap with
-  /// serialize::write_file to snapshot; load() into a fresh service
+  /// serialize::save_file to snapshot; load() into a fresh service
   /// warm-restarts it — predictions and priorities are bit-identical to the
   /// saved instance, with no history replay or refit.
   void save(serialize::Writer& w) const;
@@ -210,6 +296,9 @@ class QssfService final : public Service {
   static constexpr std::size_t kFeatureCount = 9;
   void encode(const trace::Trace& t, const trace::JobRecord& job,
               std::vector<double>& out) const;
+  /// Same feature layout as encode(), from a JobQuery, never mutating the
+  /// name buckets — the two must stay column-for-column identical.
+  void encode_frozen(const JobQuery& query, std::vector<double>& out) const;
 
   QssfConfig config_;
   ml::GBDTRegressor model_;
@@ -217,18 +306,64 @@ class QssfService final : public Service {
   RollingEstimator rolling_;
 };
 
-/// Execution strategy for OnlinePriorityEvaluator (mirrors SimExecution).
-enum class EvalExecution {
-  /// Deterministic replay windows evaluated concurrently on the shared pool,
-  /// with the GBDT estimates batched through predict_many. Bit-identical to
-  /// kSerial for any window count or thread count.
-  kChunked,
-  /// Retained straightforward job-by-job loop (parity baseline).
-  kSerial,
+/// Pending-finish replay queue: a min-heap of (finish, index) events, popped
+/// in (finish, then index) total order — identical however the heap was
+/// assembled. This is the one heap-op sequence every causal replay site
+/// shares; the chunked evaluator's bit-parity with the serial loop, and the
+/// streaming svc::PredictionServer's bit-parity with the batch evaluator,
+/// both depend on every site executing it identically. Externally
+/// synchronized, like the estimators it feeds.
+class ReplayQueue {
+ public:
+  struct Entry {
+    std::int64_t finish = 0;   ///< approximate finish: submit + duration
+    std::uint32_t index = 0;   ///< caller-defined job index (tie-break)
+  };
+
+  /// Queue the job's finish event under the given index.
+  void push(const trace::JobRecord& job, std::uint32_t index) {
+    heap_.push_back({job.submit_time + job.duration, index});
+    std::push_heap(heap_.begin(), heap_.end(), after);
+  }
+
+  /// Pop every entry with finish <= now in (finish, index) order, invoking
+  /// observe(index) for each.
+  template <class ObserveFn>
+  void drain(std::int64_t now, ObserveFn&& observe) {
+    while (!heap_.empty() && heap_.front().finish <= now) {
+      std::pop_heap(heap_.begin(), heap_.end(), after);
+      const std::uint32_t index = heap_.back().index;
+      heap_.pop_back();
+      observe(index);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  /// Raw heap storage, for checkpointing; feed back through restore().
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
+    return heap_;
+  }
+  /// Adopt entries() output verbatim (the storage is already heap-ordered).
+  void restore(std::vector<Entry> entries) { heap_ = std::move(entries); }
+
+ private:
+  static bool after(const Entry& a, const Entry& b) noexcept {
+    return a.finish != b.finish ? a.finish > b.finish : a.index > b.index;
+  }
+
+  std::vector<Entry> heap_;
 };
 
+/// Deprecated alias (one release of source compat): the evaluator's
+/// execution switch is now the library-wide common::ExecMode. kParallel
+/// evaluates deterministic replay windows concurrently on the shared pool,
+/// with the GBDT estimates batched through predict_many — bit-identical to
+/// kSerial (the retained job-by-job loop) for any window or thread count.
+using EvalExecution = common::ExecMode;
+
 struct EvalOptions {
-  EvalExecution execution = EvalExecution::kChunked;
+  common::ExecMode execution = common::ExecMode::kParallel;
   /// Smallest window, in GPU jobs.
   std::size_t min_window = 1024;
   /// Cap on the window count; 0 = auto (the pool width). Tests force small
@@ -244,12 +379,14 @@ struct EvalOptions {
 /// precomputing priorities for every GPU job of `eval`.
 ///
 /// The chunked mode splits the stream into contiguous replay windows: a
-/// serial pre-pass replays only the (cheap) observe stream, snapshotting the
-/// rolling state and pending-finish heap at each window boundary; windows
-/// then replay concurrently from their snapshots while the GBDT half of
-/// every priority comes from one batched predict_many pass. Because each
-/// window replays exactly the observes the serial path would apply, the
-/// result — and the service's final rolling state — is bit-identical to
+/// serial pre-pass replays only the (cheap) observe stream, snapshotting a
+/// copy-on-write RollingOverlay (all windows share the immutable pre-eval
+/// rolling state; each snapshot carries only the user histories its prefix
+/// touched) plus the pending-finish ReplayQueue at each window boundary;
+/// windows then replay concurrently from their snapshots while the GBDT
+/// half of every priority comes from one batched predict_many pass. Because
+/// each window replays exactly the observes the serial path would apply,
+/// the result — and the service's final rolling state — is bit-identical to
 /// kSerial.
 class OnlinePriorityEvaluator {
  public:
@@ -271,22 +408,6 @@ class OnlinePriorityEvaluator {
   }
 
  private:
-  /// Pending finish event; min-heap ordered by (finish, index) so the pop
-  /// order is a total order, identical however the heap was assembled.
-  struct Pending {
-    std::int64_t finish = 0;
-    std::uint32_t index = 0;
-  };
-  static bool pending_after(const Pending& a, const Pending& b) noexcept {
-    return a.finish != b.finish ? a.finish > b.finish : a.index > b.index;
-  }
-  /// The one heap-op sequence every replay site shares — the chunked mode's
-  /// bit-parity with kSerial depends on all sites executing it identically.
-  static void drain_finished(std::vector<Pending>& pending, std::int64_t now,
-                             const trace::Trace& eval, RollingEstimator& rolling);
-  static void push_pending(std::vector<Pending>& pending,
-                           const trace::JobRecord& job, std::uint32_t index);
-
   void run_serial(QssfService& service, const trace::Trace& eval);
   void run_chunked(QssfService& service, const trace::Trace& eval,
                    const EvalOptions& options);

@@ -405,7 +405,7 @@ std::unique_ptr<Forecaster> load_forecaster(serialize::Reader& r) {
 
 BacktestResult backtest(const Forecaster& model, const TimeSeries& series,
                         std::size_t min_train, int horizon, std::size_t stride,
-                        BacktestExecution execution) {
+                        common::ExecMode execution) {
   BacktestResult r;
   if (horizon <= 0 || stride == 0) return r;
   const auto h = static_cast<std::size_t>(horizon);
@@ -423,7 +423,7 @@ BacktestResult backtest(const Forecaster& model, const TimeSeries& series,
     r.actual[i] = series.values[origin + h - 1];
     r.predicted[i] = pred.back();
   };
-  if (execution == BacktestExecution::kSerial) {
+  if (execution == common::ExecMode::kSerial) {
     for (std::size_t i = 0; i < n; ++i) eval(i);
   } else {
     parallel_for(0, n, eval);

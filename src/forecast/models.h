@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "common/exec_mode.h"
 #include "forecast/series.h"
 #include "ml/gbdt.h"
 #include "ml/linear.h"
@@ -186,15 +187,13 @@ class GBDTForecaster final : public Forecaster {
   ml::GBDTRegressor model_;
 };
 
-/// How backtest() evaluates its rolling origins. Both modes produce
+/// Deprecated alias (one release of source compat): backtest()'s execution
+/// switch is now the library-wide common::ExecMode. Both modes produce
 /// bit-identical BacktestResults (each origin's forecast is a pure function
 /// of the series prefix, and results land in preassigned slots, so no
 /// accumulation order exists to drift); kSerial is the reference and keeps
 /// the shared pool free (test_forecast pins the parity).
-enum class BacktestExecution {
-  kParallel,  ///< origins evaluated concurrently on the shared thread pool
-  kSerial,    ///< origins evaluated in order on the calling thread
-};
+using BacktestExecution = common::ExecMode;
 
 /// Rolling-origin backtest: starting after `min_train` samples, every
 /// `stride` samples forecast `horizon` steps ahead and record the terminal
@@ -210,7 +209,7 @@ struct BacktestResult {
 [[nodiscard]] BacktestResult backtest(
     const Forecaster& model, const TimeSeries& series, std::size_t min_train,
     int horizon, std::size_t stride,
-    BacktestExecution execution = BacktestExecution::kParallel);
+    common::ExecMode execution = common::ExecMode::kParallel);
 
 /// Fit several forecasters to the same history concurrently on the shared
 /// pool (deadlock-safe even though GBDTForecaster::fit itself parallelizes

@@ -19,7 +19,7 @@
 //  * GBDTEngine::kReference retains the straightforward pre-histogram-engine
 //    trainer: every node rebuilds its histograms from scratch and the
 //    prediction update re-traverses raw features row by row. It exists as
-//    the parity baseline (mirroring sim::SimExecution::kSerial).
+//    the parity baseline (mirroring common::ExecMode::kSerial).
 //
 // Bit-for-bit parity across engines and thread counts is possible because
 // per-tree gradients are quantized to int64 (QuantizedGradients): integer
@@ -169,7 +169,7 @@ class GBDTRegressor {
 
   /// Persist the fitted model ("GBDT" section, docs/FORMATS.md): config,
   /// base prediction, binner edges, every tree, and the training-RMSE
-  /// curve. Wrap with serialize::write_file for the on-disk frame.
+  /// curve. Wrap with serialize::save_file for the on-disk frame.
   void save(serialize::Writer& w) const;
   /// Replace this model with the persisted one. The loaded model predicts
   /// bit-identically to the saved one (predict and predict_many). Throws

@@ -163,4 +163,41 @@ void write_file(const std::string& path, const Writer& body);
 /// Read `path` + unframe(); throws Error on any I/O or validation failure.
 [[nodiscard]] std::vector<std::uint8_t> read_file(const std::string& path);
 
+/// The one spelling for file-level model persistence: persist any model with
+/// a `save(Writer&) const` member as a single-section frame at `path`.
+/// Every serializable type in the library (ml::, core::, svc::) pairs with
+/// load_file below; forecast::Forecaster, being polymorphic, keeps its
+/// save_forecaster/load_forecaster free functions for the in-frame type tag
+/// but a concrete forecaster's state still round-trips through here.
+/// Throws Error(kIo) on filesystem failure.
+template <class T>
+void save_file(const std::string& path, const T& model) {
+  Writer w;
+  model.save(w);
+  write_file(path, w);
+}
+
+/// Restore a model persisted by save_file into `out` (in-place overload for
+/// types without a default constructor, e.g. a svc::PredictionServer that
+/// needs its trace context first). Validates the frame, delegates to
+/// `out.load(Reader&)`, and rejects trailing bytes after the model's
+/// section. Throws Error on any I/O, validation, or decode failure; `out`
+/// is unchanged when the model's load() honours its all-or-nothing contract.
+template <class T>
+void load_file(const std::string& path, T& out) {
+  const std::vector<std::uint8_t> body = read_file(path);
+  Reader r(body);
+  out.load(r);
+  r.close(path);
+}
+
+/// Value-returning variant for default-constructible model types:
+/// `auto m = serialize::load_file<ml::GBDTRegressor>(path);`.
+template <class T>
+[[nodiscard]] T load_file(const std::string& path) {
+  T out;
+  load_file(path, out);
+  return out;
+}
+
 }  // namespace helios::serialize

@@ -14,7 +14,7 @@
 // (seed, vc, node), so the plan is a pure function of (spec, config, window)
 // — independent of generation order, sharding, or thread count. Events are
 // grouped per VC and time-sorted, matching the VC-sharded simulator: a shard
-// consumes only its own VC's stream, so SimExecution::kSharded and kSerial
+// consumes only its own VC's stream, so common::ExecMode::kParallel and kSerial
 // replay identical event sequences.
 //
 // Failures whose repair would complete after the plan window never emit a

@@ -92,7 +92,7 @@ SimResult ClusterSimulator::run(const Trace& t) const {
           shards[s].run(t, vc_arrivals[shard_vc[s]], result.outcomes);
     });
   }
-  if (config_.execution == SimExecution::kSerial) {
+  if (config_.execution == common::ExecMode::kSerial) {
     for (auto& task : tasks) task();
   } else {
     parallel_run_tasks(std::move(tasks));

@@ -16,6 +16,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/exec_mode.h"
 #include "forecast/series.h"
 #include "sim/cluster_state.h"
 #include "sim/fault_plan.h"
@@ -28,23 +29,21 @@ enum class SchedulerPolicy { kFifo, kSjf, kSrtf, kQssf };
 [[nodiscard]] std::string_view to_string(SchedulerPolicy p) noexcept;
 
 /// Priority for kQssf: expected GPU time of the job; lower runs first.
-/// Called concurrently from VC shards under SimExecution::kSharded, so it
-/// must be thread-safe (pure functions and const lookups are).
+/// Called concurrently from VC shards under common::ExecMode::kParallel, so
+/// it must be thread-safe (pure functions and const lookups are).
 using PriorityFn = std::function<double(const trace::JobRecord&)>;
 
-/// How ClusterSimulator::run executes its per-VC event loops. Both modes run
-/// the same VcSimulator code and produce identical SimResults (asserted by
-/// the determinism suite); kSerial exists as the reference and for callers
-/// that want to keep the pool free.
-enum class SimExecution {
-  kSharded,  ///< one shard per VC, concurrently on the shared thread pool
-  kSerial,   ///< shards run sequentially in VC order on the calling thread
-};
+/// Deprecated alias (one release of source compat): the per-VC execution
+/// switch is now the library-wide common::ExecMode. kParallel runs one shard
+/// per VC concurrently on the shared thread pool; kSerial runs shards
+/// sequentially in VC order on the calling thread. Both produce identical
+/// SimResults (asserted by the determinism suite).
+using SimExecution = common::ExecMode;
 
 struct SimConfig {
   SchedulerPolicy policy = SchedulerPolicy::kFifo;
   PriorityFn priority_fn;  ///< required for kQssf, ignored otherwise
-  SimExecution execution = SimExecution::kSharded;
+  common::ExecMode execution = common::ExecMode::kParallel;
   /// Queue delay (seconds) above which a job counts as "queued" in the
   /// Table 3 sense.
   std::int64_t queued_threshold = 1;
@@ -123,8 +122,9 @@ struct SimResult {
 
 /// Trace-driven simulator over all VCs of a cluster. VCs are dedicated and
 /// non-shared, so the event loop is sharded per VC (see vc_simulator.h) and
-/// shards run concurrently under SimExecution::kSharded; outcomes, counters,
-/// and busy series merge deterministically, bit-identical to kSerial.
+/// shards run concurrently under common::ExecMode::kParallel; outcomes,
+/// counters, and busy series merge deterministically, bit-identical to
+/// kSerial.
 class ClusterSimulator {
  public:
   ClusterSimulator(trace::ClusterSpec spec, SimConfig config);

@@ -99,7 +99,15 @@ void Trace::save_csv(std::ostream& out) const {
   CsvWriter w(out);
   w.write_row({"job_id", "submit_time", "start_time", "duration", "num_gpus",
                "num_cpus", "user", "vc", "name", "state"});
-  for (const auto& j : jobs_) {
+  save_csv_rows(out, 0, jobs_.size());
+}
+
+void Trace::save_csv_rows(std::ostream& out, std::size_t first,
+                          std::size_t count) const {
+  CsvWriter w(out);
+  const std::size_t end = std::min(jobs_.size(), first + count);
+  for (std::size_t i = first; i < end; ++i) {
+    const JobRecord& j = jobs_[i];
     w.write_row({CsvWriter::field(static_cast<std::int64_t>(j.job_id)),
                  CsvWriter::field(j.submit_time), CsvWriter::field(j.start_time),
                  CsvWriter::field(static_cast<std::int64_t>(j.duration)),

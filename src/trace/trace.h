@@ -94,6 +94,15 @@ class Trace {
   void save_csv(std::ostream& out) const;
   static Trace load_csv(std::istream& in, ClusterSpec cluster);
 
+  /// Write jobs [first, first+count) as data rows only — no header. This is
+  /// the append side of a growing stream file (svc::CsvTailer consumes it)
+  /// and the lossless row embedding of service checkpoints: every field is
+  /// an integer or a verbatim interned string, so append_csv_row() on the
+  /// output reconstructs bit-identical records (and, fed in order into a
+  /// trace with the same prior interner state, identical ids).
+  void save_csv_rows(std::ostream& out, std::size_t first,
+                     std::size_t count) const;
+
  private:
   ClusterSpec cluster_;
   std::vector<JobRecord> jobs_;

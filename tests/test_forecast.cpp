@@ -188,9 +188,9 @@ TEST(Backtest, ParallelMatchesSerialBitIdentically) {
   for (const Forecaster* m : {static_cast<const Forecaster*>(&gbdt),
                               static_cast<const Forecaster*>(&ar)}) {
     const auto par =
-        backtest(*m, s, train_n, 6, 12, BacktestExecution::kParallel);
+        backtest(*m, s, train_n, 6, 12, common::ExecMode::kParallel);
     const auto ser =
-        backtest(*m, s, train_n, 6, 12, BacktestExecution::kSerial);
+        backtest(*m, s, train_n, 6, 12, common::ExecMode::kSerial);
     ASSERT_EQ(par.actual.size(), ser.actual.size());
     ASSERT_FALSE(par.actual.empty());
     for (std::size_t i = 0; i < par.actual.size(); ++i) {

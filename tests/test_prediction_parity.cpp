@@ -137,7 +137,7 @@ TEST(EvaluatorParity, ChunkedMatchesSerialBitwise) {
       chunked_svc.fit(train);
     }
     EvalOptions serial_opts;
-    serial_opts.execution = EvalExecution::kSerial;
+    serial_opts.execution = common::ExecMode::kSerial;
     OnlinePriorityEvaluator serial_eval(serial_svc, eval, serial_opts);
 
     // Any window count must reproduce the serial result exactly, including
@@ -146,7 +146,7 @@ TEST(EvaluatorParity, ChunkedMatchesSerialBitwise) {
       QssfService svc(cfg);
       if (trained) svc.fit(train);
       EvalOptions opts;
-      opts.execution = EvalExecution::kChunked;
+      opts.execution = common::ExecMode::kParallel;
       opts.min_window = 1;
       opts.max_windows = windows;
       OnlinePriorityEvaluator chunked_eval(svc, eval, opts);
@@ -167,6 +167,58 @@ TEST(EvaluatorParity, ChunkedMatchesSerialBitwise) {
   }
 }
 
+// A copy-on-write overlay must be observationally bit-identical to a plain
+// estimator that started from a full copy of the base — estimates for known,
+// touched, and unknown users alike — while materializing only the user
+// histories its observe stream touched.
+TEST(EvaluatorParity, RollingOverlayMatchesFullCopy) {
+  auto gen = trace::GeneratorConfig::helios(trace::helios_cluster("Venus"), 17,
+                                            0.02);
+  const trace::Trace t = trace::SyntheticTraceGenerator(gen).generate();
+  const auto train =
+      t.between(trace::helios_trace_begin(), from_civil(2020, 9, 1));
+  const auto eval = t.between(from_civil(2020, 9, 1), trace::helios_trace_end());
+
+  QssfConfig cfg;
+  auto base = std::make_shared<const RollingEstimator>([&] {
+    RollingEstimator r(cfg);
+    for (const auto& j : train.jobs()) r.observe(train, j);
+    return r;
+  }());
+
+  RollingEstimator full = *base;  // the reference: eager full copy
+  RollingOverlay overlay(base);
+  std::size_t fed = 0;
+  const trace::JobRecord* first_gpu = nullptr;
+  for (const auto& j : eval.jobs()) {
+    if (!j.is_gpu_job()) continue;
+    if (first_gpu == nullptr) first_gpu = &j;
+    // Interleave estimate checks with observes so both mid-stream and final
+    // states are compared.
+    ASSERT_EQ(full.estimate(eval, j), overlay.estimate(eval, j))
+        << "job " << j.job_id;
+    full.observe(eval, j);
+    overlay.observe(eval, j);
+    if (++fed >= 2000) break;
+  }
+  // The delta holds only touched users — strictly fewer than a full copy
+  // would carry (the September stream touches a subset of all-time users).
+  EXPECT_GT(overlay.delta_users(), 0u);
+  EXPECT_LT(overlay.delta_users(), t.users().size());
+
+  // Flattening reproduces the full-copy state exactly, double-feed dedupe
+  // included.
+  RollingEstimator flat = overlay.materialize();
+  EXPECT_EQ(flat.observed_jobs(), full.observed_jobs());
+  for (const auto& j : eval.jobs()) {
+    if (!j.is_gpu_job()) continue;
+    ASSERT_EQ(full.estimate(eval, j), flat.estimate(eval, j));
+  }
+  ASSERT_NE(first_gpu, nullptr);
+  flat.observe(eval, *first_gpu);  // already folded in: no-op
+  EXPECT_EQ(flat.observed_jobs(), full.observed_jobs());
+}
+
 TEST(EvaluatorParity, EmptyAndCpuOnlyTraces) {
   trace::ClusterSpec spec;
   spec.name = "s";
@@ -176,7 +228,7 @@ TEST(EvaluatorParity, EmptyAndCpuOnlyTraces) {
   trace::Trace cpu_only(spec);
   cpu_only.add(0, 100, 0, 8, "u", "vc0", "prep", trace::JobState::kCompleted);
 
-  for (const auto execution : {EvalExecution::kChunked, EvalExecution::kSerial}) {
+  for (const auto execution : {common::ExecMode::kParallel, common::ExecMode::kSerial}) {
     EvalOptions opts;
     opts.execution = execution;
     QssfService svc;

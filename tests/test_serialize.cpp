@@ -338,19 +338,28 @@ TEST(SerializeRoundTrip, FileIo) {
   model.fit(data);
 
   const std::string path = testing::TempDir() + "helios_model_roundtrip.bin";
+  serialize::save_file(path, model);
+
+  // load_file validates the frame, loads, and rejects trailing bytes — and
+  // is byte-equivalent to the longhand write_file/read_file pair.
+  const auto loaded = serialize::load_file<ml::GBDTRegressor>(path);
+  expect_models_identical(model, loaded);
+
   serialize::Writer w;
   model.save(w);
-  serialize::write_file(path, w);
+  EXPECT_EQ(serialize::read_file(path), serialize::unframe(serialize::frame(w)));
 
-  const std::vector<std::uint8_t> body = serialize::read_file(path);
-  serialize::Reader r(body);
-  ml::GBDTRegressor loaded;
-  loaded.load(r);
-  expect_models_identical(model, loaded);
+  // In-place overload (for non-default-constructible types).
+  ml::GBDTRegressor in_place;
+  serialize::load_file(path, in_place);
+  expect_models_identical(model, in_place);
   std::remove(path.c_str());
 
   EXPECT_THROW(
       { auto missing = serialize::read_file(path); (void)missing; }, Error);
+  EXPECT_THROW(
+      { auto missing = serialize::load_file<ml::GBDTRegressor>(path); (void)missing; },
+      Error);
 }
 
 // ---------------------------------------------------------------------------

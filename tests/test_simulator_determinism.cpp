@@ -1,10 +1,10 @@
 // Sharded-vs-serial determinism of the VC-sharded simulator.
 //
 // ClusterSimulator runs one VcSimulator per VC, concurrently under
-// SimExecution::kSharded. This suite asserts the parallel run's SimResult —
+// common::ExecMode::kParallel. This suite asserts the parallel run's SimResult —
 // outcomes, counters, per-VC stats, and the busy-nodes/GPUs series — is
 // *identical* (exact doubles, not approximately equal) to the retained
-// serial reference (SimExecution::kSerial) across all four policies,
+// serial reference (common::ExecMode::kSerial) across all four policies,
 // backfill on/off, and several synthetic-trace seeds.
 #include <gtest/gtest.h>
 
@@ -100,10 +100,10 @@ TEST_P(ShardedDeterminismTest, ShardedMatchesSerialReference) {
     };
   }
 
-  cfg.execution = SimExecution::kSerial;
+  cfg.execution = common::ExecMode::kSerial;
   const SimResult serial = ClusterSimulator(t.cluster(), cfg).run(t);
 
-  cfg.execution = SimExecution::kSharded;
+  cfg.execution = common::ExecMode::kParallel;
   const SimResult sharded = ClusterSimulator(t.cluster(), cfg).run(t);
   expect_identical(serial, sharded);
 
@@ -175,10 +175,10 @@ TEST_P(FaultShardedDeterminismTest, ShardedMatchesSerialUnderFaults) {
     cfg.fault_plan = &plan;
   }
 
-  cfg.execution = SimExecution::kSerial;
+  cfg.execution = common::ExecMode::kSerial;
   const SimResult serial = ClusterSimulator(t.cluster(), cfg).run(t);
 
-  cfg.execution = SimExecution::kSharded;
+  cfg.execution = common::ExecMode::kParallel;
   const SimResult sharded = ClusterSimulator(t.cluster(), cfg).run(t);
   expect_identical(serial, sharded);
 
@@ -249,9 +249,9 @@ TEST(FaultShardedDeterminism, NodeOrderPermutationStaysDeterministic) {
     cfg.node_order.push_back(std::move(order));
   }
 
-  cfg.execution = SimExecution::kSerial;
+  cfg.execution = common::ExecMode::kSerial;
   const SimResult serial = ClusterSimulator(t.cluster(), cfg).run(t);
-  cfg.execution = SimExecution::kSharded;
+  cfg.execution = common::ExecMode::kParallel;
   const SimResult sharded = ClusterSimulator(t.cluster(), cfg).run(t);
   expect_identical(serial, sharded);
 }
@@ -276,9 +276,9 @@ TEST(ShardedDeterminism, TinyCrossVcTrace) {
     SimConfig cfg;
     cfg.policy = SchedulerPolicy::kFifo;
     cfg.backfill = backfill;
-    cfg.execution = SimExecution::kSerial;
+    cfg.execution = common::ExecMode::kSerial;
     const SimResult serial = ClusterSimulator(s, cfg).run(t);
-    cfg.execution = SimExecution::kSharded;
+    cfg.execution = common::ExecMode::kParallel;
     const SimResult sharded = ClusterSimulator(s, cfg).run(t);
     expect_identical(serial, sharded);
   }
