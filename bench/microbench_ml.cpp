@@ -12,14 +12,19 @@
 // See BENCH_ml.json for recorded before/after numbers.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <numeric>
+#include <string>
 
 #include "common/rng.h"
+#include "common/simd.h"
 #include "core/qssf_service.h"
 #include "ml/dataset.h"
 #include "ml/gbdt.h"
+#include "ml/gbdt_kernels.h"
 #include "ml/levenshtein.h"
 #include "serialize/binary.h"
 #include "trace/synthetic.h"
@@ -67,7 +72,23 @@ ml::GBDTConfig philly_cfg(ml::GBDTEngine engine) {
   return cfg;
 }
 
-void run_fit(benchmark::State& state, ml::GBDTEngine engine) {
+/// Forces the SIMD dispatch for one benchmark; restores the prior state on
+/// destruction. -1 = leave the ambient dispatch alone.
+class ScopedSimd {
+ public:
+  explicit ScopedSimd(int force) : prev_(helios::common::simd_enabled()) {
+    if (force >= 0) helios::common::set_simd_enabled(force != 0);
+  }
+  ~ScopedSimd() { helios::common::set_simd_enabled(prev_); }
+  ScopedSimd(const ScopedSimd&) = delete;
+  ScopedSimd& operator=(const ScopedSimd&) = delete;
+
+ private:
+  bool prev_;
+};
+
+void run_fit(benchmark::State& state, ml::GBDTEngine engine, int simd = -1) {
+  ScopedSimd dispatch(simd);
   const auto& data = philly_dataset();
   const auto cfg = philly_cfg(engine);
   for (auto _ : state) {
@@ -82,11 +103,70 @@ void run_fit(benchmark::State& state, ml::GBDTEngine engine) {
 void BM_GbdtFit(benchmark::State& state) {
   run_fit(state, ml::GBDTEngine::kHistogram);
 }
+/// The same histogram engine with the SIMD dispatch forced off — the
+/// BM_GbdtFit/BM_GbdtFitScalar gap is the AVX2 histogram-kernel speedup.
+void BM_GbdtFitScalar(benchmark::State& state) {
+  run_fit(state, ml::GBDTEngine::kHistogram, /*simd=*/0);
+}
 void BM_GbdtFitReference(benchmark::State& state) {
   run_fit(state, ml::GBDTEngine::kReference);
 }
 BENCHMARK(BM_GbdtFit)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GbdtFitScalar)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GbdtFitReference)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Raw histogram kernel (the training hot loop, no tree machinery around it)
+// ---------------------------------------------------------------------------
+
+void run_hist_kernel(benchmark::State& state, bool simd) {
+  if (simd && !helios::common::simd_supported()) {
+    state.SkipWithError("AVX2 unavailable on this build/CPU");
+    return;
+  }
+  const auto& data = philly_dataset();
+  ml::FeatureBinner binner;
+  Rng rng(3);
+  binner.fit(data, 64, rng);
+  const ml::BinnedMatrix x =
+      ml::bin_dataset(data, binner, ml::BinLayout::kRowMajor);
+  const auto total_bins = static_cast<std::size_t>(x.feature_offset.back());
+  std::vector<std::uint32_t> rows(x.rows);
+  std::iota(rows.begin(), rows.end(), 0u);
+  std::vector<std::int32_t> grad(x.rows);
+  Rng grng(11);
+  for (auto& g : grad) {
+    g = static_cast<std::int32_t>(grng.uniform_int(0, 2'000'000)) - 1'000'000;
+  }
+  std::vector<std::int64_t> h0(total_bins);
+  std::vector<std::int64_t> h1(total_bins);
+  for (auto _ : state) {
+    std::fill(h0.begin(), h0.end(), 0);
+    std::fill(h1.begin(), h1.end(), 0);
+    if (simd) {
+      ml::kernels::hist_accumulate_avx2(x.global.data(), x.features,
+                                        rows.data(), 0, x.rows, grad.data(),
+                                        h0.data(), h1.data());
+    } else {
+      ml::kernels::hist_accumulate_scalar(x.global.data(), x.features,
+                                          rows.data(), 0, x.rows, grad.data(),
+                                          h0.data(), h1.data());
+    }
+    benchmark::DoNotOptimize(h0.data());
+    benchmark::DoNotOptimize(h1.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(x.rows * x.features));
+}
+
+void BM_HistogramKernel(benchmark::State& state) {
+  run_hist_kernel(state, /*simd=*/true);
+}
+void BM_HistogramKernelScalar(benchmark::State& state) {
+  run_hist_kernel(state, /*simd=*/false);
+}
+BENCHMARK(BM_HistogramKernel)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HistogramKernelScalar)->Unit(benchmark::kMillisecond);
 
 const ml::GBDTRegressor& philly_model() {
   static const ml::GBDTRegressor model = [] {
@@ -99,7 +179,8 @@ const ml::GBDTRegressor& philly_model() {
   return model;
 }
 
-void BM_GbdtPredictMany(benchmark::State& state) {
+void run_predict_many(benchmark::State& state, int simd = -1) {
+  ScopedSimd dispatch(simd);
   const auto& data = philly_dataset();
   const auto& model = philly_model();
   for (auto _ : state) {
@@ -107,6 +188,14 @@ void BM_GbdtPredictMany(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(data.rows()));
+}
+
+void BM_GbdtPredictMany(benchmark::State& state) { run_predict_many(state); }
+/// Batched inference with the SIMD dispatch forced off — the
+/// BM_GbdtPredictMany/BM_GbdtPredictManyScalar gap is the AVX2 forest-walk
+/// speedup (same binning, same tree-at-a-time scalar route PR 3 shipped).
+void BM_GbdtPredictManyScalar(benchmark::State& state) {
+  run_predict_many(state, /*simd=*/0);
 }
 /// The pre-batching inference path: one raw-feature tree walk per row.
 void BM_GbdtPredictPerRow(benchmark::State& state) {
@@ -123,6 +212,7 @@ void BM_GbdtPredictPerRow(benchmark::State& state) {
                           static_cast<std::int64_t>(data.rows()));
 }
 BENCHMARK(BM_GbdtPredictMany)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GbdtPredictManyScalar)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GbdtPredictPerRow)->Unit(benchmark::kMillisecond);
 
 void BM_GbdtPredict(benchmark::State& state) {
@@ -310,6 +400,34 @@ void verify_parity() {
     }
   }
 
+  // SIMD-vs-scalar gates: when the AVX2 dispatch can be forced on, a fit and
+  // a batched predict on each side of it must agree bit-for-bit — otherwise
+  // the BM_*Scalar comparisons time two different computations.
+  {
+    const bool ambient = helios::common::simd_enabled();
+    if (helios::common::set_simd_enabled(true)) {
+      ml::GBDTRegressor simd_model(cfg);
+      simd_model.fit(data);
+      const auto simd_batched = simd_model.predict_many(data);
+      helios::common::set_simd_enabled(false);
+      ml::GBDTRegressor scalar_model(cfg);
+      scalar_model.fit(data);
+      if (!models_equal(simd_model, scalar_model)) {
+        std::fprintf(stderr,
+                     "FATAL: AVX2 histogram kernel diverges from the scalar "
+                     "form\n");
+        std::exit(1);
+      }
+      if (scalar_model.predict_many(data) != simd_batched) {
+        std::fprintf(stderr,
+                     "FATAL: AVX2 forest walk diverges from the scalar "
+                     "predict path\n");
+        std::exit(1);
+      }
+    }
+    helios::common::set_simd_enabled(ambient);
+  }
+
   auto gen = trace::GeneratorConfig::helios(trace::helios_cluster("Venus"), 13,
                                             0.03);
   const trace::Trace t = trace::SyntheticTraceGenerator(gen).generate();
@@ -367,6 +485,10 @@ int main(int argc, char** argv) {
   verify_parity();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Record which dispatch the un-suffixed benches ran under ("avx2" or
+  // "scalar") in the console header and the JSON context block.
+  benchmark::AddCustomContext("simd",
+                              std::string(helios::common::simd_mode()));
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -19,18 +19,24 @@
 #                      targets that still exist
 #   ./ci.sh asan       separate build-asan tree with AddressSanitizer +
 #                      UndefinedBehaviorSanitizer (abort on first report),
-#                      running the fast suites (ctest -L smoke)
+#                      running the fast suites (ctest -L smoke) with the SIMD
+#                      dispatch forced on (HELIOS_SIMD=1) so the sanitizers
+#                      sweep the AVX2 kernels, gather tail pads included
+#   ./ci.sh simd       full build + the fast suites twice: once with the
+#                      SIMD dispatch forced on, once forced off
+#                      (HELIOS_SIMD=1 then HELIOS_SIMD=0) — the parity
+#                      suites must pass bit-identically either way
 #
-# Extra args after the mode are passed through to ctest (full/smoke/asan) or
-# to the microbenchmarks (bench).
+# Extra args after the mode are passed through to ctest (full/smoke/asan/
+# simd) or to the microbenchmarks (bench).
 set -euo pipefail
 cd "$(dirname "$0")"
 
 mode="${1:-full}"
 [ $# -gt 0 ] && shift
 case "$mode" in
-  full|smoke|bench|serve|docs|asan) ;;
-  *) echo "usage: ./ci.sh [full|smoke|bench|serve|docs|asan] [args...]" >&2; exit 2 ;;
+  full|smoke|bench|serve|docs|asan|simd) ;;
+  *) echo "usage: ./ci.sh [full|smoke|bench|serve|docs|asan|simd] [args...]" >&2; exit 2 ;;
 esac
 
 # Grep-based link/target validator: every backticked repo path, every
@@ -95,6 +101,11 @@ if [ "$mode" = asan ]; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
   cmake --build build-asan -j "$(nproc)"
   cd build-asan
+  # Force the SIMD dispatch on: the AVX2 kernels' gathers (including the
+  # deliberate in-pad overreads) must run under ASan container annotations.
+  # On hardware without AVX2 the runtime support gate still wins and the
+  # scalar forms run instead.
+  export HELIOS_SIMD=1
   exec ctest -L smoke --output-on-failure -j "$(nproc)" "$@"
 fi
 
@@ -147,6 +158,15 @@ if [ "$mode" = serve ]; then
 fi
 
 cd build
+if [ "$mode" = simd ]; then
+  # Same suites, both sides of the dispatch: the SIMD kernels must be
+  # bit-identical to the scalar reference wherever the parity tests look.
+  echo "=== ctest -L smoke with HELIOS_SIMD=1 (dispatch forced on) ==="
+  HELIOS_SIMD=1 ctest -L smoke --output-on-failure -j "$(nproc)" "$@"
+  echo "=== ctest -L smoke with HELIOS_SIMD=0 (dispatch forced off) ==="
+  HELIOS_SIMD=0 ctest -L smoke --output-on-failure -j "$(nproc)" "$@"
+  exit 0
+fi
 if [ "$mode" = smoke ]; then
   exec ctest -L smoke --output-on-failure -j "$(nproc)" "$@"
 fi

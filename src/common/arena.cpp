@@ -1,0 +1,36 @@
+#include "common/arena.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace helios::common {
+
+void* MonotonicArena::do_allocate(std::size_t bytes, std::size_t alignment) {
+  // Align the cursor up; alignment is a power of two per the memory_resource
+  // contract, and chunk starts are new[]-aligned (max_align_t), so any
+  // fundamental alignment is reachable by bumping.
+  const auto addr = reinterpret_cast<std::uintptr_t>(cursor_);
+  const std::size_t pad = (alignment - addr % alignment) % alignment;
+  if (pad + bytes > remaining_) {
+    // Oversized requests get a right-sized chunk (bytes + worst-case pad —
+    // a chunk start is only new[]-aligned, so stricter alignments may still
+    // need a bump) so a single large allocation cannot strand a near-empty
+    // doubling chunk. The slack guarantees the recursive call succeeds.
+    const std::size_t needed = bytes + alignment - 1;
+    const std::size_t size = needed > next_chunk_ ? needed : next_chunk_;
+    chunks_.push_back(std::make_unique<std::byte[]>(size));
+    cursor_ = chunks_.back().get();
+    remaining_ = size;
+    reserved_ += size;
+    if (size == next_chunk_ && next_chunk_ < kMaxChunk) next_chunk_ *= 2;
+    return do_allocate(bytes, alignment);  // recurses exactly once
+  }
+  cursor_ += pad;
+  void* out = cursor_;
+  cursor_ += bytes;
+  remaining_ -= pad + bytes;
+  used_ += bytes;
+  return out;
+}
+
+}  // namespace helios::common

@@ -1,16 +1,10 @@
 // The one execution-mode switch of the library.
 //
-// Three layers grew near-duplicate two-value enums for "run this on the
-// shared pool vs. serially on the calling thread": sim::SimExecution
-// (kSharded/kSerial), core::EvalExecution (kChunked/kSerial), and
-// forecast::BacktestExecution (kParallel/kSerial). Every pair obeys the same
+// Three layers once grew near-duplicate two-value enums for "run this on the
+// shared pool vs. serially on the calling thread"; every pair obeys the same
 // contract — both modes are bit-identical, kSerial is the parity reference —
-// so they are now one enum that composed callers (svc::PredictionServer is
-// the first) can thread through every layer with a single spelling.
-//
-// Compatibility: the per-layer names live on for one release as type aliases
-// at their old locations, and the old enumerator spellings (kSharded,
-// kChunked) as enumerator aliases of kParallel below. New code uses
+// so they are one enum that composed callers (svc::PredictionServer is
+// the first) thread through every layer with a single spelling:
 // common::ExecMode::{kParallel, kSerial}.
 #pragma once
 
@@ -24,12 +18,6 @@ namespace helios::common {
 enum class ExecMode {
   kParallel,  ///< work units run concurrently on the shared thread pool
   kSerial,    ///< work units run in order on the calling thread
-
-  // Deprecated enumerator aliases (source compat for the retired
-  // SimExecution::kSharded / EvalExecution::kChunked spellings; to be
-  // removed next release).
-  kSharded = kParallel,
-  kChunked = kParallel,
 };
 
 [[nodiscard]] constexpr std::string_view to_string(ExecMode m) noexcept {

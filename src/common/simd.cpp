@@ -1,0 +1,59 @@
+#include "common/simd.h"
+
+#include <atomic>
+
+#include "common/env.h"
+
+namespace helios::common {
+
+namespace {
+
+bool cpu_has_avx2() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+/// -1 = uninitialized; 0/1 = resolved request (env or set_simd_enabled).
+std::atomic<int> g_requested{-1};
+
+bool requested() noexcept {
+  int r = g_requested.load(std::memory_order_relaxed);
+  if (r >= 0) return r != 0;
+  // First use: HELIOS_SIMD decides; unset means auto-on. Two initializers
+  // racing read the same environment, so the resolved value is identical.
+  const std::string v = env_string("HELIOS_SIMD", "");
+  const bool on = !(v == "0" || v == "off" || v == "scalar" || v == "false");
+  g_requested.store(on ? 1 : 0, std::memory_order_relaxed);
+  return on;
+}
+
+}  // namespace
+
+bool simd_compiled() noexcept {
+#ifdef HELIOS_HAVE_AVX2
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool simd_supported() noexcept {
+  // cpuid is cheap and the compiler hoists the constant half; no caching.
+  return simd_compiled() && cpu_has_avx2();
+}
+
+bool simd_enabled() noexcept { return simd_supported() && requested(); }
+
+bool set_simd_enabled(bool on) noexcept {
+  g_requested.store(on ? 1 : 0, std::memory_order_relaxed);
+  return simd_enabled();
+}
+
+std::string_view simd_mode() noexcept {
+  return simd_enabled() ? "avx2" : "scalar";
+}
+
+}  // namespace helios::common

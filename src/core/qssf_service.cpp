@@ -149,25 +149,53 @@ double RollingEstimator::estimate(const std::string& user,
 // RollingOverlay
 // ---------------------------------------------------------------------------
 
+RollingOverlay::RollingOverlay()
+    : arena_(std::make_unique<common::MonotonicArena>()),
+      delta_(std::make_unique<RollingEstimator>(arena_.get())) {}
+
 RollingOverlay::RollingOverlay(std::shared_ptr<const RollingEstimator> base)
-    : base_(std::move(base)) {
+    : base_(std::move(base)),
+      arena_(std::make_unique<common::MonotonicArena>()),
+      delta_(std::make_unique<RollingEstimator>(arena_.get())) {
   if (!base_) return;
   // The delta starts as the base minus its per-user map and dedupe set:
   // knobs and global fallbacks copy over (globals advance on every observe,
   // so they must live in the delta), user histories materialize lazily.
-  delta_.use_names_ = base_->use_names_;
-  delta_.name_match_threshold_ = base_->name_match_threshold_;
-  delta_.rolling_decay_ = base_->rolling_decay_;
-  delta_.max_names_per_user_ = base_->max_names_per_user_;
-  delta_.global_by_gpus_ = base_->global_by_gpus_;
-  delta_.global_duration_sum_ = base_->global_duration_sum_;
-  delta_.global_jobs_ = base_->global_jobs_;
-  delta_.observe_counter_ = base_->observe_counter_;
+  delta_->use_names_ = base_->use_names_;
+  delta_->name_match_threshold_ = base_->name_match_threshold_;
+  delta_->rolling_decay_ = base_->rolling_decay_;
+  delta_->max_names_per_user_ = base_->max_names_per_user_;
+  delta_->global_by_gpus_ = base_->global_by_gpus_;
+  delta_->global_duration_sum_ = base_->global_duration_sum_;
+  delta_->global_jobs_ = base_->global_jobs_;
+  delta_->observe_counter_ = base_->observe_counter_;
+}
+
+RollingOverlay::RollingOverlay(const RollingOverlay& other)
+    : base_(other.base_),
+      arena_(std::make_unique<common::MonotonicArena>()),
+      delta_(std::make_unique<RollingEstimator>(*other.delta_, arena_.get())) {}
+
+RollingOverlay& RollingOverlay::operator=(const RollingOverlay& other) {
+  if (this != &other) *this = RollingOverlay(other);
+  return *this;
+}
+
+RollingOverlay& RollingOverlay::operator=(RollingOverlay&& other) noexcept {
+  if (this != &other) {
+    // Order matters: retire the old delta while the old arena is still
+    // alive (its container destructors make virtual deallocate calls on
+    // the resource), then the arena, then adopt the incoming pointers.
+    delta_ = std::move(other.delta_);
+    arena_ = std::move(other.arena_);
+    base_ = std::move(other.base_);
+  }
+  return *this;
 }
 
 void RollingOverlay::observe(const Trace& t, const JobRecord& job) {
   if (!base_) {
-    delta_.observe(t, job);
+    delta_->observe(t, job);
     return;
   }
   if (!job.is_gpu_job()) return;
@@ -175,12 +203,12 @@ void RollingOverlay::observe(const Trace& t, const JobRecord& job) {
   // delta); a job the base already folded in must stay a no-op.
   if (base_->observed_ids_.contains(RollingEstimator::dedupe_key(job))) return;
   const std::string& user = t.user_name(job);
-  if (!delta_.users_.contains(user)) {
+  if (!delta_->users_.contains(user)) {
     if (const auto it = base_->users_.find(user); it != base_->users_.end()) {
-      delta_.users_.emplace(user, it->second);  // copy-on-first-touch
+      delta_->users_.emplace(user, it->second);  // copy-on-first-touch
     }
   }
-  delta_.observe(t, job);
+  delta_->observe(t, job);
 }
 
 double RollingOverlay::estimate(const Trace& t, const JobRecord& job) const {
@@ -194,22 +222,25 @@ double RollingOverlay::estimate(const std::string& user,
   // base-only user's estimate never reads the global fallbacks (known users
   // have jobs >= 1), so the base answers bit-identically; an unknown user
   // needs the *live* globals, which the delta carries.
-  if (base_ && !delta_.users_.contains(user) && base_->users_.contains(user)) {
+  if (base_ && !delta_->users_.contains(user) && base_->users_.contains(user)) {
     return base_->estimate(user, job_name, num_gpus);
   }
-  return delta_.estimate(user, job_name, num_gpus);
+  return delta_->estimate(user, job_name, num_gpus);
 }
 
 RollingEstimator RollingOverlay::materialize() const {
-  if (!base_) return delta_;
+  // Both returns produce a default-resource estimator (plain copies go
+  // through select_on_container_copy_construction), so the result is free
+  // to outlive this overlay's arena.
+  if (!base_) return *delta_;
   RollingEstimator out = *base_;
-  out.global_by_gpus_ = delta_.global_by_gpus_;
-  out.global_duration_sum_ = delta_.global_duration_sum_;
-  out.global_jobs_ = delta_.global_jobs_;
-  out.observe_counter_ = delta_.observe_counter_;
-  for (const auto& [user, hist] : delta_.users_) out.users_[user] = hist;
-  out.observed_ids_.insert(delta_.observed_ids_.begin(),
-                           delta_.observed_ids_.end());
+  out.global_by_gpus_ = delta_->global_by_gpus_;
+  out.global_duration_sum_ = delta_->global_duration_sum_;
+  out.global_jobs_ = delta_->global_jobs_;
+  out.observe_counter_ = delta_->observe_counter_;
+  for (const auto& [user, hist] : delta_->users_) out.users_[user] = hist;
+  out.observed_ids_.insert(delta_->observed_ids_.begin(),
+                           delta_->observed_ids_.end());
   return out;
 }
 

@@ -39,12 +39,14 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <memory_resource>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/exec_mode.h"
 #include "core/framework.h"
 #include "ml/gbdt.h"
@@ -99,6 +101,36 @@ class RollingEstimator {
         rolling_decay_(config.rolling_decay),
         max_names_per_user_(config.max_names_per_user) {}
 
+  /// Construct with the per-user map and dedupe set backed by `mr` — the
+  /// RollingOverlay points its delta at a per-window MonotonicArena so the
+  /// many short-lived node allocations of a snapshot bump-allocate instead
+  /// of hitting the global heap. The default constructor (and the plain
+  /// copies below, via select_on_container_copy_construction) stay on the
+  /// default resource, so estimators that outlive a window never reference
+  /// an arena.
+  explicit RollingEstimator(std::pmr::memory_resource* mr)
+      : users_(mr), observed_ids_(mr) {}
+
+  /// Allocator-extended copy: every field copies, container storage lands
+  /// on `mr` (the overlay's copy constructor rebinds a snapshot's delta to
+  /// its own fresh arena).
+  RollingEstimator(const RollingEstimator& other, std::pmr::memory_resource* mr)
+      : use_names_(other.use_names_),
+        name_match_threshold_(other.name_match_threshold_),
+        rolling_decay_(other.rolling_decay_),
+        max_names_per_user_(other.max_names_per_user_),
+        users_(other.users_, mr),
+        global_by_gpus_(other.global_by_gpus_),
+        global_duration_sum_(other.global_duration_sum_),
+        global_jobs_(other.global_jobs_),
+        observe_counter_(other.observe_counter_),
+        observed_ids_(other.observed_ids_, mr) {}
+
+  RollingEstimator(const RollingEstimator&) = default;
+  RollingEstimator(RollingEstimator&&) = default;
+  RollingEstimator& operator=(const RollingEstimator&) = default;
+  RollingEstimator& operator=(RollingEstimator&&) = default;
+
   /// Absorb one finished GPU job (idempotent per job_id).
   void observe(const trace::Trace& t, const trace::JobRecord& job);
 
@@ -152,12 +184,17 @@ class RollingEstimator {
   [[nodiscard]] static std::uint64_t dedupe_key(
       const trace::JobRecord& job) noexcept;
 
-  std::unordered_map<std::string, UserHistory> users_;
+  // The two node-heavy containers are pmr so an overlay delta can point
+  // them at its window arena; everything reachable from UserHistory
+  // (strings, inner maps, name vectors) stays on the default heap — the
+  // arena absorbs the map nodes and bucket arrays, which dominate the
+  // allocation count of a snapshot.
+  std::pmr::unordered_map<std::string, UserHistory> users_;
   std::unordered_map<int, std::pair<double, std::int64_t>> global_by_gpus_;
   double global_duration_sum_ = 0.0;
   std::int64_t global_jobs_ = 0;
   std::uint64_t observe_counter_ = 0;
-  std::unordered_set<std::uint64_t> observed_ids_;  // content-hash keys
+  std::pmr::unordered_set<std::uint64_t> observed_ids_;  // content-hash keys
 };
 
 /// Copy-on-write view over an immutable shared RollingEstimator. Reads fall
@@ -180,8 +217,19 @@ class RollingEstimator {
 /// (the base is never written through this class).
 class RollingOverlay {
  public:
-  RollingOverlay() = default;
+  RollingOverlay();
   explicit RollingOverlay(std::shared_ptr<const RollingEstimator> base);
+
+  /// Copying an overlay (the evaluator's per-window snapshot) allocates a
+  /// fresh arena and rebinds the copied delta to it, so each snapshot owns
+  /// its storage and windows free their arena wholesale when they finish.
+  RollingOverlay(const RollingOverlay& other);
+  RollingOverlay& operator=(const RollingOverlay& other);
+  /// Moves transfer the arena and delta as pointers — no element traffic,
+  /// and no pmr element-wise move-assignment across unequal resources.
+  RollingOverlay(RollingOverlay&&) noexcept = default;
+  RollingOverlay& operator=(RollingOverlay&& other) noexcept;
+  ~RollingOverlay() = default;
 
   /// Absorb one finished GPU job (idempotent per job identity, across both
   /// the base's and the delta's dedupe sets).
@@ -199,12 +247,21 @@ class RollingOverlay {
 
   /// Users whose histories the delta owns (introspection for tests).
   [[nodiscard]] std::size_t delta_users() const noexcept {
-    return delta_.users_.size();
+    return delta_->users_.size();
+  }
+  /// Bytes the delta has bump-allocated from this overlay's arena.
+  [[nodiscard]] std::size_t arena_bytes() const noexcept {
+    return arena_->bytes_used();
   }
 
  private:
   std::shared_ptr<const RollingEstimator> base_;  // null = plain estimator
-  RollingEstimator delta_;
+  // arena_ is declared before delta_: members destroy in reverse order, so
+  // the delta's containers deallocate (a no-op, but still a virtual call)
+  // against a live arena. The custom move-assignment preserves the same
+  // property on overwrite.
+  std::unique_ptr<common::MonotonicArena> arena_;
+  std::unique_ptr<RollingEstimator> delta_;
 };
 
 /// A job described by raw strings plus pre-resolved feature ids — the query
@@ -355,14 +412,11 @@ class ReplayQueue {
   std::vector<Entry> heap_;
 };
 
-/// Deprecated alias (one release of source compat): the evaluator's
-/// execution switch is now the library-wide common::ExecMode. kParallel
-/// evaluates deterministic replay windows concurrently on the shared pool,
-/// with the GBDT estimates batched through predict_many — bit-identical to
-/// kSerial (the retained job-by-job loop) for any window or thread count.
-using EvalExecution = common::ExecMode;
-
 struct EvalOptions {
+  /// kParallel evaluates deterministic replay windows concurrently on the
+  /// shared pool, with the GBDT estimates batched through predict_many —
+  /// bit-identical to kSerial (the retained job-by-job loop) for any window
+  /// or thread count.
   common::ExecMode execution = common::ExecMode::kParallel;
   /// Smallest window, in GPU jobs.
   std::size_t min_window = 1024;

@@ -187,14 +187,6 @@ class GBDTForecaster final : public Forecaster {
   ml::GBDTRegressor model_;
 };
 
-/// Deprecated alias (one release of source compat): backtest()'s execution
-/// switch is now the library-wide common::ExecMode. Both modes produce
-/// bit-identical BacktestResults (each origin's forecast is a pure function
-/// of the series prefix, and results land in preassigned slots, so no
-/// accumulation order exists to drift); kSerial is the reference and keeps
-/// the shared pool free (test_forecast pins the parity).
-using BacktestExecution = common::ExecMode;
-
 /// Rolling-origin backtest: starting after `min_train` samples, every
 /// `stride` samples forecast `horizon` steps ahead and record the terminal
 /// prediction vs actual. Returns (actual, predicted) aligned vectors —

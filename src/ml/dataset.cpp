@@ -123,7 +123,14 @@ BinnedMatrix bin_dataset(const Dataset& data, const FeatureBinner& binner,
   x.rows = data.rows();
   x.features = binner.features();
   x.layout = layout;
-  x.bins.resize(x.rows * x.features);
+  const std::size_t cells = x.rows * x.features;
+  // Row-major planes carry a few zero bytes of tail padding: the AVX2
+  // predict walk loads each uint8 cell with a 4-byte gather, which reads up
+  // to kSimdPad bytes past the last cell. The padding is inside the vector's
+  // size() so sanitizer container annotations see the reads as in-bounds.
+  const std::size_t pad =
+      layout == BinLayout::kRowMajor && cells > 0 ? BinnedMatrix::kSimdPad : 0;
+  x.bins.resize(cells + pad);
   x.feature_offset.resize(x.features + 1, 0);
   for (std::size_t f = 0; f < x.features; ++f) {
     x.feature_offset[f + 1] = x.feature_offset[f] + binner.bins(f);

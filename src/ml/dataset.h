@@ -166,6 +166,12 @@ enum class BinLayout {
 /// the total bin count fits — the GBDT histogram engine indexes its
 /// concatenated per-feature histograms with them in a single add.
 struct BinnedMatrix {
+  /// Tail padding bytes appended to a non-empty row-major `bins` plane
+  /// (bins.size() == rows * features + kSimdPad): the SIMD predict kernel
+  /// reads uint8 cells with 4-byte gathers, whose final load may extend up
+  /// to 3 bytes past the last cell.
+  static constexpr std::size_t kSimdPad = 3;
+
   std::size_t rows = 0;
   std::size_t features = 0;
   BinLayout layout = BinLayout::kRowMajor;

@@ -1,12 +1,16 @@
 #include "ml/gbdt.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
+#include "common/simd.h"
 #include "common/thread_pool.h"
+#include "ml/gbdt_kernels.h"
 #include "serialize/binary.h"
 
 namespace helios::ml {
@@ -64,8 +68,9 @@ void QuantizedGradients::assign(std::span<const double> gradients,
 namespace {
 
 /// The histogram engine packs each bucket into one int64:
-/// (gradient_sum << 24) + row_count. Counts stay below 2^24 (enforced by
-/// kPackedRowLimit) and |gradient_sum| below 2^38 (enforced by the
+/// (gradient_sum << 24) + row_count. Counts stay below 2^24 (nodes with more
+/// rows shard into sub-limit packed accumulations merged into a wide
+/// histogram, see NodeHist) and |gradient_sum| below 2^38 (enforced by the
 /// QuantizedGradients scale), so the fields cannot bleed into each other and
 /// a single integer add updates both at once.
 constexpr int kCountBits = 24;
@@ -74,12 +79,30 @@ constexpr int kCountBits = 24;
 constexpr std::size_t kHistGrain = 16384;
 constexpr std::size_t kPackedRowLimit = std::size_t{1} << kCountBits;
 
+/// Runtime-injectable packed limit (gbdt_set_packed_row_limit): tests drive
+/// the wide/sharded path at small n instead of needing a 16.7M-row fixture.
+std::atomic<std::size_t> g_packed_row_limit{kPackedRowLimit};
+std::atomic<std::uint64_t> g_wide_builds{0};
+
 constexpr std::int64_t packed_sum(std::int64_t pack) noexcept {
   return pack >> kCountBits;  // arithmetic shift = floor division: exact
 }
 constexpr std::int64_t packed_count(std::int64_t pack) noexcept {
   return pack & ((std::int64_t{1} << kCountBits) - 1);
 }
+
+/// One node's histogram in either representation. Packed (the common case):
+/// `buf` holds total_bins single-int64 buckets. Wide (row count at or above
+/// the packed limit): `buf` holds 2 * total_bins entries — unpacked gradient
+/// sums in [0, total_bins), row counts in [total_bins, 2 * total_bins) — so
+/// counts are full int64 and the 24-bit cap disappears. Both are exact
+/// integers, so subtraction and shard merges stay bit-exact, and
+/// best_split_scan sees identical (sum, count) streams either way.
+struct NodeHist {
+  std::vector<std::int64_t> buf;
+  bool wide = false;
+  [[nodiscard]] bool empty() const noexcept { return buf.empty(); }
+};
 
 struct SplitDecision {
   double gain = 0.0;
@@ -252,6 +275,8 @@ struct HistogramBuilder {
   std::size_t p = 0;
   int total_bins = 0;
   std::vector<int> offset;             // per-feature slice into a histogram
+  std::size_t packed_limit = kPackedRowLimit;  // node rows >= this go wide
+  bool use_simd = false;               // resolved once per tree fit
   // Freed node histograms for reuse (allocating + zeroing ~9KB per node adds
   // up over thousands of nodes per fit).
   std::vector<std::vector<std::int64_t>> hist_pool;
@@ -264,6 +289,9 @@ struct HistogramBuilder {
       offset[f] = total_bins;
       total_bins += binner.bins(f);
     }
+    packed_limit = std::max<std::size_t>(
+        2, g_packed_row_limit.load(std::memory_order_relaxed));
+    use_simd = common::simd_enabled();
   }
 
   [[nodiscard]] std::vector<std::int64_t> take_buffer(std::size_t size) {
@@ -277,7 +305,35 @@ struct HistogramBuilder {
     if (!h.empty()) hist_pool.push_back(std::move(h));
   }
 
-  [[nodiscard]] std::vector<std::int64_t> build_hist(
+  /// Node histogram in whichever representation the row count dictates.
+  [[nodiscard]] NodeHist build_hist(std::span<const std::uint32_t> rows) {
+    if (rows.size() < packed_limit) return {build_hist_packed(rows), false};
+    return build_hist_wide(rows);
+  }
+
+  /// Wide path: shard the rows into sub-limit runs, accumulate each through
+  /// the (parallel, SIMD-dispatched) packed kernel, and merge the unpacked
+  /// (sum, count) fields into the two-field wide buffer. Every step is exact
+  /// int64 arithmetic, so the result equals what an unbounded packed
+  /// accumulation would hold — sharding cannot change a split decision.
+  [[nodiscard]] NodeHist build_hist_wide(std::span<const std::uint32_t> rows) {
+    const auto nb = static_cast<std::size_t>(total_bins);
+    NodeHist out{take_buffer(2 * nb), /*wide=*/true};
+    const std::size_t shard = packed_limit - 1;  // counts stay below the cap
+    for (std::size_t s = 0; s < rows.size(); s += shard) {
+      const std::size_t len = std::min(shard, rows.size() - s);
+      std::vector<std::int64_t> part = build_hist_packed(rows.subspan(s, len));
+      for (std::size_t b = 0; b < nb; ++b) {
+        out.buf[b] += packed_sum(part[b]);
+        out.buf[nb + b] += packed_count(part[b]);
+      }
+      recycle(std::move(part));
+    }
+    g_wide_builds.fetch_add(1, std::memory_order_relaxed);
+    return out;
+  }
+
+  [[nodiscard]] std::vector<std::int64_t> build_hist_packed(
       std::span<const std::uint32_t> rows) {
     // Buffer recycling is only safe when accumulate runs on this thread: a
     // 1-thread pool, or a node small enough that parallel_map_reduce stays
@@ -312,32 +368,16 @@ struct HistogramBuilder {
         h.resize(nb);
         return h;
       }
-      const std::uint16_t* gbins = x.global.data();
-      std::size_t k = lo;
-      for (; k + 1 < hi; k += 2) {
-        const std::size_t r0 = rows[k];
-        const std::size_t r1 = rows[k + 1];
-        const std::uint16_t* rb0 = gbins + r0 * p;
-        const std::uint16_t* rb1 = gbins + r1 * p;
-        const std::int64_t g0 = (static_cast<std::int64_t>(grad[r0]) << kCountBits) | 1;
-        const std::int64_t g1 = (static_cast<std::int64_t>(grad[r1]) << kCountBits) | 1;
-        std::size_t f = 0;
-        for (; f + 2 <= p; f += 2) {
-          h0[rb0[f]] += g0;
-          h1[rb1[f]] += g1;
-          h0[rb0[f + 1]] += g0;
-          h1[rb1[f + 1]] += g1;
-        }
-        for (; f < p; ++f) {
-          h0[rb0[f]] += g0;
-          h1[rb1[f]] += g1;
-        }
-      }
-      for (; k < hi; ++k) {
-        const std::uint16_t* rb = gbins + rows[k] * p;
-        const std::int64_t gp =
-            (static_cast<std::int64_t>(grad[rows[k]]) << kCountBits) | 1;
-        for (std::size_t f = 0; f < p; ++f) h0[rb[f]] += gp;
+      // The accumulation loop lives in ml/gbdt_kernels.h: the scalar form is
+      // the exact two-arena loop this function always ran; the AVX2 form is
+      // bit-identical (integer adds reassociate exactly) and chosen once per
+      // fit by the runtime dispatch.
+      if (use_simd) {
+        kernels::hist_accumulate_avx2(x.global.data(), p, rows.data(), lo, hi,
+                                      grad.data(), h0, h1);
+      } else {
+        kernels::hist_accumulate_scalar(x.global.data(), p, rows.data(), lo,
+                                        hi, grad.data(), h0, h1);
       }
       for (std::size_t b = 0; b < nb; ++b) h0[b] += h1[b];
       h.resize(nb);
@@ -352,7 +392,23 @@ struct HistogramBuilder {
         });
   }
 
-  std::int32_t build(std::span<std::uint32_t> rows, std::vector<std::int64_t> hist,
+  /// Best split for feature f, reading whichever bucket view `hist` holds.
+  [[nodiscard]] SplitDecision split_feature(const NodeHist& hist, std::size_t f,
+                                            std::int64_t total_q,
+                                            std::int64_t total_cnt) const {
+    if (hist.wide) {
+      const auto nb = static_cast<std::size_t>(total_bins);
+      return best_split_for_feature(
+          hist.buf.data() + offset[f], hist.buf.data() + nb + offset[f],
+          binner.bins(f), total_q, total_cnt, inv_scale,
+          static_cast<std::int32_t>(f), cfg);
+    }
+    return best_split_packed(hist.buf.data() + offset[f], binner.bins(f),
+                             total_q, total_cnt, inv_scale,
+                             static_cast<std::int32_t>(f), cfg);
+  }
+
+  std::int32_t build(std::span<std::uint32_t> rows, NodeHist hist,
                      std::int64_t total_q, int depth) {
     const auto node_id = static_cast<std::int32_t>(nodes.size());
     nodes.emplace_back();
@@ -367,19 +423,17 @@ struct HistogramBuilder {
 
     if (depth >= cfg.max_depth ||
         total_cnt < 2 * static_cast<std::int64_t>(cfg.min_samples_leaf)) {
-      recycle(std::move(hist));
+      recycle(std::move(hist.buf));
       return make_leaf();
     }
 
     SplitDecision best;
     for (std::size_t f = 0; f < p; ++f) {
-      const SplitDecision d = best_split_packed(
-          hist.data() + offset[f], binner.bins(f), total_q, total_cnt,
-          inv_scale, static_cast<std::int32_t>(f), cfg);
+      const SplitDecision d = split_feature(hist, f, total_q, total_cnt);
       if (d.gain > best.gain) best = d;
     }
     if (best.feature < 0 || best.gain <= 1e-12) {
-      recycle(std::move(hist));
+      recycle(std::move(hist.buf));
       return make_leaf();
     }
 
@@ -389,7 +443,7 @@ struct HistogramBuilder {
     // post-partition guard.)
     const std::size_t n_left = static_cast<std::size_t>(best.left_cnt);
     if (n_left == 0 || n_left == rows.size()) {
-      recycle(std::move(hist));
+      recycle(std::move(hist.buf));
       return make_leaf();
     }
 
@@ -435,11 +489,13 @@ struct HistogramBuilder {
              static_cast<std::int64_t>(n_rows) >=
                  2 * static_cast<std::int64_t>(cfg.min_samples_leaf);
     };
-    std::vector<std::int64_t> left_hist;
-    std::vector<std::int64_t> right_hist;
+    NodeHist left_hist;
+    NodeHist right_hist;
     if (will_split(left_rows.size()) || will_split(right_rows.size())) {
       // Build the smaller child's histogram; the larger child's is the
-      // parent's minus the sibling's, exact in int64.
+      // parent's minus the sibling's, exact in int64. (A wide parent keeps
+      // its derived child wide even if that child's count re-fits the packed
+      // cap — the representations subtract exactly either way.)
       if (left_rows.size() <= right_rows.size()) {
         left_hist = build_hist(left_rows);
         right_hist = std::move(hist);
@@ -450,7 +506,7 @@ struct HistogramBuilder {
         subtract(left_hist, right_hist);
       }
     } else {
-      recycle(std::move(hist));
+      recycle(std::move(hist.buf));
     }
     const std::int32_t left =
         build(left_rows, std::move(left_hist), best.left_q, depth + 1);
@@ -462,9 +518,24 @@ struct HistogramBuilder {
     return node_id;
   }
 
-  static void subtract(std::vector<std::int64_t>& parent,
-                       const std::vector<std::int64_t>& child) {
-    for (std::size_t b = 0; b < parent.size(); ++b) parent[b] -= child[b];
+  void subtract(NodeHist& parent, const NodeHist& child) const {
+    if (parent.wide == child.wide) {
+      // Same representation: elementwise over the whole buffer (for wide,
+      // that subtracts the sum and count halves in one sweep).
+      for (std::size_t b = 0; b < parent.buf.size(); ++b) {
+        parent.buf[b] -= child.buf[b];
+      }
+      return;
+    }
+    // Wide parent, packed child: unpack the child's fields into the two
+    // halves. (A packed parent cannot have a wide child — the child's rows
+    // are a subset of the parent's.)
+    assert(parent.wide && !child.wide);
+    const auto nb = static_cast<std::size_t>(total_bins);
+    for (std::size_t b = 0; b < nb; ++b) {
+      parent.buf[b] -= packed_sum(child.buf[b]);
+      parent.buf[nb + b] -= packed_count(child.buf[b]);
+    }
   }
 };
 
@@ -497,14 +568,16 @@ void RegressionTree::fit(const BinnedMatrix& x, const FeatureBinner& binner,
   const bool root_splits =
       cfg.max_depth > 0 &&
       rows.size() >= static_cast<std::size_t>(2 * cfg.min_samples_leaf);
-  std::vector<std::int64_t> root_hist;
+  NodeHist root_hist;
   if (root_splits) root_hist = builder.build_hist(rows);
   std::int64_t total_q = 0;
   if (!root_hist.empty() && builder.p > 0) {
-    // Feature 0's slice counts every row exactly once: its packed sums add
-    // up to the root gradient total, saving the row scan.
+    // Feature 0's slice counts every row exactly once: its bucket sums add
+    // up to the root gradient total, saving the row scan. (Wide buffers
+    // store sums unpacked in the first half.)
     for (int b = 0; b < binner.bins(0); ++b) {
-      total_q += packed_sum(root_hist[static_cast<std::size_t>(b)]);
+      const std::int64_t bucket = root_hist.buf[static_cast<std::size_t>(b)];
+      total_q += root_hist.wide ? bucket : packed_sum(bucket);
     }
   } else {
     for (const std::uint32_t r : rows) total_q += grad.q[r];
@@ -541,6 +614,7 @@ std::int32_t RegressionTree::leaf_for_binned(const BinnedMatrix& x,
 
 void GBDTRegressor::fit(const Dataset& full_data) {
   trees_.clear();
+  forest_ = PackedForest();
   train_rmse_.clear();
   n_features_ = full_data.features();
   base_prediction_ = 0.0;
@@ -567,13 +641,10 @@ void GBDTRegressor::fit(const Dataset& full_data) {
   // guard the mean below would be 0/0 and every prediction NaN.
   if (n == 0) return;
 
-  // The packed histogram buckets carry a 24-bit row count; beyond that the
-  // reference engine (two-field buckets) takes over. 16.7M rows in a single
-  // uncapped fit is far past every in-tree workload.
-  GBDTConfig cfg = config_;
-  if (cfg.engine == GBDTEngine::kHistogram && n >= kPackedRowLimit) {
-    cfg.engine = GBDTEngine::kReference;
-  }
+  // No engine fallback on size: nodes whose row count reaches the packed
+  // 24-bit limit build wide sharded histograms instead (NodeHist), so the
+  // histogram engine handles cluster-lifetime training sets directly.
+  const GBDTConfig& cfg = config_;
 
   double mean = 0.0;
   for (std::size_t r = 0; r < n; ++r) mean += data->target(r);
@@ -709,6 +780,7 @@ void GBDTRegressor::fit(const Dataset& full_data) {
     }
     trees_.push_back(std::move(tree));
   }
+  forest_.build(trees_);
 }
 
 double GBDTRegressor::predict(std::span<const double> features) const noexcept {
@@ -723,6 +795,23 @@ std::vector<double> GBDTRegressor::predict_many(const Dataset& data) const {
   std::vector<double> out(data.rows(), base_prediction_);
   if (data.empty() || trees_.empty()) return out;
   const BinnedMatrix binned = bin_dataset(data, binner_, BinLayout::kRowMajor);
+  // SIMD walk: blocked rows over the SoA forest. Bit-identical to the scalar
+  // path below (same mul/add per row in the same tree order), so dispatch is
+  // free to differ across machines. The int32 guard covers the kernel's
+  // 32-bit gather offsets (~238M rows at 9 features before it trips).
+  if (common::simd_enabled() && !forest_.empty() && binned.features > 0 &&
+      data.rows() * binned.features + binned.features <=
+          static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max())) {
+    parallel_for_chunks(
+        0, data.rows(),
+        [&](std::size_t lo, std::size_t hi) {
+          kernels::predict_forest_avx2(forest_, binned.bins.data(),
+                                       binned.features, lo, hi,
+                                       config_.learning_rate, out.data());
+        },
+        /*grain=*/4096);
+    return out;
+  }
   parallel_for_chunks(
       0, data.rows(),
       [&](std::size_t lo, std::size_t hi) {
@@ -893,6 +982,81 @@ void GBDTRegressor::load(serialize::Reader& r) {
   train_rmse_ = std::move(rmse);
   binner_ = std::move(binner);
   trees_ = std::move(trees);
+  forest_.build(trees_);
+}
+
+std::size_t gbdt_set_packed_row_limit(std::size_t limit) noexcept {
+  return g_packed_row_limit.exchange(limit == 0 ? kPackedRowLimit : limit,
+                                     std::memory_order_relaxed);
+}
+
+std::uint64_t gbdt_wide_histogram_builds() noexcept {
+  return g_wide_builds.load(std::memory_order_relaxed);
+}
+
+void PackedForest::build(std::span<const RegressionTree> trees) {
+  n_trees = 0;
+  levels = 0;
+  split.clear();
+  value.clear();
+  if (trees.empty()) return;
+  // Forest-wide depth: the deepest leaf of any tree. Node depths fall out of
+  // one forward pass per tree: nodes are stored preorder, so every child
+  // index is visited after its parent.
+  std::int32_t max_depth = 0;
+  for (const RegressionTree& tree : trees) {
+    const auto& nodes = tree.nodes();
+    std::vector<std::int32_t> d(nodes.size(), 0);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const auto& n = nodes[i];
+      if (n.feature >= 0) {
+        d[static_cast<std::size_t>(n.left)] = d[i] + 1;
+        d[static_cast<std::size_t>(n.right)] = d[i] + 1;
+      }
+      max_depth = std::max(max_depth, d[i]);
+    }
+  }
+  if (max_depth > kMaxLevels) return;  // stays empty; callers fall back
+  const std::size_t slots = (std::size_t{1} << max_depth) - 1;  // interior
+  const std::size_t leaves = slots + 1;                         // 2^levels
+  // The SIMD walk computes leaf-value addresses in int32 lanes.
+  if (trees.size() * leaves >
+      static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max())) {
+    return;
+  }
+  // Phantom slots (below a shallow leaf) keep the dummy split 0xff:
+  // feature 0, bin 255 — in-bounds to read and never compares "right",
+  // though both phantom subtrees replicate the same leaf so the direction
+  // is irrelevant.
+  split.assign(trees.size() * slots, 0xff);
+  value.assign(trees.size() * leaves, 0.0);
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    const auto& nodes = trees[t].nodes();
+    std::int32_t* sp = split.data() + t * slots;
+    double* lv = value.data() + t * leaves;
+    // Pad the tree to a perfect tree of depth `max_depth`: descend with
+    // (node, heap slot, depth); a leaf met early is carried down both
+    // phantom children until the deepest level, where its value lands.
+    const auto fill = [&](auto&& self, std::int32_t ni, std::size_t slot,
+                          std::int32_t d) -> void {
+      const auto& n = nodes[static_cast<std::size_t>(ni)];
+      if (d == max_depth) {
+        lv[slot - slots] = n.value;
+        return;
+      }
+      if (n.feature >= 0) {
+        sp[slot] = (n.feature << 8) | n.split_bin;
+        self(self, n.left, 2 * slot + 1, d + 1);
+        self(self, n.right, 2 * slot + 2, d + 1);
+      } else {
+        self(self, ni, 2 * slot + 1, d + 1);
+        self(self, ni, 2 * slot + 2, d + 1);
+      }
+    };
+    fill(fill, 0, 0, 0);
+  }
+  n_trees = static_cast<std::int32_t>(trees.size());
+  levels = max_depth;
 }
 
 std::vector<double> GBDTRegressor::feature_importance() const {

@@ -26,6 +26,16 @@
 // histogram sums are exact under any accumulation order and under sibling
 // subtraction, so split decisions and leaf values cannot drift.
 //
+// The histogram engine's two hottest loops — histogram accumulation and the
+// batched predict_many walk — additionally have AVX2 forms (ml/gbdt_kernels.h)
+// selected at runtime via common::simd_enabled(); both are bit-identical to
+// their scalar twins (integer adds reassociate exactly; the forest walk
+// performs the same mul/add per row), so dispatch changes speed only.
+// Training-set size is unbounded: nodes whose row count reaches the packed
+// 24-bit limit accumulate shard-by-shard into a wide two-field histogram
+// merged exactly in int64 (gbdt_set_packed_row_limit lets tests drive the
+// shard path at small n).
+//
 // Determinism: fit() is a pure function of (dataset, config) — the same
 // inputs produce the same trees bit-for-bit on any thread count and either
 // engine (test_prediction_parity pins this). predict()/predict_many() are
@@ -140,6 +150,56 @@ class RegressionTree {
   std::vector<Node> nodes_;
 };
 
+/// Test/bench hooks for the histogram sharding machinery. Node histograms
+/// with at least `limit` rows switch from packed single-int64 buckets to the
+/// wide (separate sum/count) representation built shard-by-shard; the default
+/// (and the cap restored by passing 0) is 2^24, the packed count width.
+/// Returns the previous limit. Not for concurrent use with a running fit().
+std::size_t gbdt_set_packed_row_limit(std::size_t limit) noexcept;
+/// Number of wide (sharded) histogram builds since process start — lets the
+/// shard-path tests prove the wide representation actually ran.
+[[nodiscard]] std::uint64_t gbdt_wide_histogram_builds() noexcept;
+
+/// Contiguous SoA flattening of a fitted forest for batched inference: all
+/// trees' nodes live in four parallel arrays indexed by a global node id, so
+/// the SIMD walk gathers split/child/value with single indexed loads instead
+/// of chasing 36-byte Node structs.
+///
+/// Encoding: split[i] = (feature << 8) | split_bin for interior nodes; a
+/// leaf stores split_bin = 255 with feature 0 and children pointing at
+/// itself — since bin ids are uint8, every row compares <= 255 and
+/// self-loops, which makes a fixed-depth walk branchless (depth[t] is the
+/// tree's maximum leaf depth; walking exactly that many steps parks every
+/// row in its leaf).
+/// Implicit-heap SoA layout of a fitted forest for the SIMD predict walk.
+///
+/// Every tree is padded to the forest-wide depth `levels` (leaves shallower
+/// than that are replicated into both phantom children all the way down), so
+/// a walk needs no child pointers at all: from heap slot i the next slot is
+/// 2*i + 1 + go_right, and after `levels` steps the slot index maps straight
+/// into the per-tree leaf-value row. That turns the inner predict step from
+/// three dependent gathers (split, bins, child) into two (split, bins) plus
+/// pure arithmetic — the child array of the previous layout is gone.
+///
+/// Memory is n_trees * (2^levels - 1) int32 splits + n_trees * 2^levels
+/// double leaves; build() refuses forests deeper than kMaxLevels (leaving
+/// the forest empty, which routes predict_many to the scalar tree-at-a-time
+/// path instead).
+struct PackedForest {
+  std::int32_t n_trees = 0;
+  std::int32_t levels = 0;          ///< uniform padded depth of every tree
+  std::vector<std::int32_t> split;  ///< n_trees x (2^levels - 1), heap order;
+                                    ///< (feature << 8) | split_bin, phantom
+                                    ///< slots hold 0xff (feature 0, bin 255)
+  std::vector<double> value;        ///< n_trees x 2^levels deepest-level leaves
+
+  static constexpr std::int32_t kMaxLevels = 12;
+
+  /// Rebuild from fitted trees (replaces any previous layout).
+  void build(std::span<const RegressionTree> trees);
+  [[nodiscard]] bool empty() const noexcept { return n_trees == 0; }
+};
+
 class GBDTRegressor {
  public:
   explicit GBDTRegressor(GBDTConfig config = {}) : config_(config) {}
@@ -166,6 +226,8 @@ class GBDTRegressor {
     return trees_;
   }
   [[nodiscard]] const FeatureBinner& binner() const noexcept { return binner_; }
+  /// SoA node layout the SIMD predict path walks (rebuilt by fit()/load()).
+  [[nodiscard]] const PackedForest& forest() const noexcept { return forest_; }
 
   /// Persist the fitted model ("GBDT" section, docs/FORMATS.md): config,
   /// base prediction, binner edges, every tree, and the training-RMSE
@@ -184,6 +246,7 @@ class GBDTRegressor {
   FeatureBinner binner_;
   std::vector<RegressionTree> trees_;
   std::vector<double> train_rmse_;
+  PackedForest forest_;  // derived from trees_; rebuilt by fit()/load()
 };
 
 }  // namespace helios::ml

@@ -1,0 +1,226 @@
+// AVX2 forms of the GBDT hot kernels — the only translation unit compiled
+// with -mavx2 (CMake sets the flag per-file when the compiler supports it;
+// HELIOS_HAVE_AVX2 tells common::simd_compiled() the real bodies are here).
+// Everything else in the library stays baseline-ISA, and these entry points
+// are reached only behind common::simd_enabled(), so the binary runs on
+// CPUs without AVX2.
+//
+// Intentionally compiled WITHOUT -mfma: predict_forest_avx2 must perform the
+// same separate multiply-then-add the scalar walk does; a fused contraction
+// would round once instead of twice and break bit-parity.
+#include "ml/gbdt_kernels.h"
+
+#include <cstdlib>
+
+#include "ml/gbdt.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace helios::ml::kernels {
+
+#if defined(__AVX2__)
+
+void hist_accumulate_avx2(const std::uint16_t* gbins, std::size_t p,
+                          const std::uint32_t* rows, std::size_t lo,
+                          std::size_t hi, const std::int32_t* grad,
+                          std::int64_t* h0, std::int64_t* h1) noexcept {
+  constexpr int kCountBits = 24;
+  const auto* b0 = reinterpret_cast<const long long*>(h0);
+  const auto* b1 = reinterpret_cast<const long long*>(h1);
+  std::size_t k = lo;
+  // Two rows in flight (one per arena) so the two gathers' latencies
+  // overlap; within a row the four gathered buckets are distinct (per-feature
+  // histogram slices), so gather -> add -> 4 stores is a legal RMW.
+  for (; k + 1 < hi; k += 2) {
+    const std::size_t r0 = rows[k];
+    const std::size_t r1 = rows[k + 1];
+    const std::uint16_t* rb0 = gbins + r0 * p;
+    const std::uint16_t* rb1 = gbins + r1 * p;
+    const std::int64_t g0 =
+        (static_cast<std::int64_t>(grad[r0]) << kCountBits) | 1;
+    const std::int64_t g1 =
+        (static_cast<std::int64_t>(grad[r1]) << kCountBits) | 1;
+    const __m256i gv0 = _mm256_set1_epi64x(g0);
+    const __m256i gv1 = _mm256_set1_epi64x(g1);
+    std::size_t f = 0;
+    for (; f + 4 <= p; f += 4) {
+      // 4 uint16 global bin ids -> 4 int32 gather indices per row.
+      const __m128i i0 = _mm_cvtepu16_epi32(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(rb0 + f)));
+      const __m128i i1 = _mm_cvtepu16_epi32(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(rb1 + f)));
+      const __m256i v0 =
+          _mm256_add_epi64(_mm256_i32gather_epi64(b0, i0, 8), gv0);
+      const __m256i v1 =
+          _mm256_add_epi64(_mm256_i32gather_epi64(b1, i1, 8), gv1);
+      // AVX2 has no scatter; the write-back is four 64-bit stores per arena
+      // at the scalar-reloaded indices. movq/movhps forms keep each store a
+      // single store-port uop instead of an ALU extract + store pair.
+      const __m128i v0lo = _mm256_castsi256_si128(v0);
+      const __m128i v0hi = _mm256_extracti128_si256(v0, 1);
+      const __m128i v1lo = _mm256_castsi256_si128(v1);
+      const __m128i v1hi = _mm256_extracti128_si256(v1, 1);
+      _mm_storel_epi64(reinterpret_cast<__m128i*>(h0 + rb0[f + 0]), v0lo);
+      _mm_storeh_pd(reinterpret_cast<double*>(h0 + rb0[f + 1]),
+                    _mm_castsi128_pd(v0lo));
+      _mm_storel_epi64(reinterpret_cast<__m128i*>(h0 + rb0[f + 2]), v0hi);
+      _mm_storeh_pd(reinterpret_cast<double*>(h0 + rb0[f + 3]),
+                    _mm_castsi128_pd(v0hi));
+      _mm_storel_epi64(reinterpret_cast<__m128i*>(h1 + rb1[f + 0]), v1lo);
+      _mm_storeh_pd(reinterpret_cast<double*>(h1 + rb1[f + 1]),
+                    _mm_castsi128_pd(v1lo));
+      _mm_storel_epi64(reinterpret_cast<__m128i*>(h1 + rb1[f + 2]), v1hi);
+      _mm_storeh_pd(reinterpret_cast<double*>(h1 + rb1[f + 3]),
+                    _mm_castsi128_pd(v1hi));
+    }
+    for (; f < p; ++f) {
+      h0[rb0[f]] += g0;
+      h1[rb1[f]] += g1;
+    }
+  }
+  for (; k < hi; ++k) {
+    const std::uint16_t* rb = gbins + rows[k] * p;
+    const std::int64_t gp =
+        (static_cast<std::int64_t>(grad[rows[k]]) << kCountBits) | 1;
+    for (std::size_t f = 0; f < p; ++f) h0[rb[f]] += gp;
+  }
+}
+
+namespace {
+
+/// One heap-walk step for an 8-row lane group: gather the packed splits at
+/// `idx` (relative to `sp`), gather the 8 rows' bins for the split features,
+/// and advance idx = 2*idx + 1 + go_right. go_right lanes compare to -1, so
+/// the advance is 2*idx + 1 - mask.
+inline __m256i walk_step(const int* sp, const std::uint8_t* bins,
+                         __m256i rowbase, __m256i idx, __m256i xff,
+                         __m256i one) noexcept {
+  const __m256i pk = _mm256_i32gather_epi32(sp, idx, 4);
+  const __m256i addr = _mm256_add_epi32(rowbase, _mm256_srli_epi32(pk, 8));
+  // uint8 load via 4-byte gather + mask; the plane is padded by
+  // kBinGatherPad so the overread past the last cell stays in bounds.
+  const __m256i bv = _mm256_and_si256(
+      _mm256_i32gather_epi32(reinterpret_cast<const int*>(bins), addr, 1),
+      xff);
+  const __m256i right = _mm256_cmpgt_epi32(bv, _mm256_and_si256(pk, xff));
+  return _mm256_sub_epi32(
+      _mm256_add_epi32(_mm256_slli_epi32(idx, 1), one), right);
+}
+
+/// lr * value[vidx lane] accumulated into (acc_lo, acc_hi) — separate mul
+/// then add (no FMA): the same two roundings as the scalar out[r] += lr *
+/// value accumulation.
+inline void accumulate_leaves(const double* value, __m256i vidx, __m256d lr,
+                              __m256d& acc_lo, __m256d& acc_hi) noexcept {
+  acc_lo = _mm256_add_pd(
+      acc_lo, _mm256_mul_pd(lr, _mm256_i32gather_pd(
+                                    value, _mm256_castsi256_si128(vidx), 8)));
+  acc_hi = _mm256_add_pd(
+      acc_hi, _mm256_mul_pd(lr, _mm256_i32gather_pd(
+                                    value, _mm256_extracti128_si256(vidx, 1),
+                                    8)));
+}
+
+}  // namespace
+
+void predict_forest_avx2(const PackedForest& forest, const std::uint8_t* bins,
+                         std::size_t p, std::size_t lo, std::size_t hi,
+                         double learning_rate, double* out) noexcept {
+  const int* split = forest.split.data();
+  const double* value = forest.value.data();
+  const std::int32_t D = forest.levels;
+  const std::int32_t slots = (1 << D) - 1;   // interior heap slots per tree
+  const std::int32_t leaves = slots + 1;     // 2^D leaf values per tree
+  const auto n_trees = static_cast<std::size_t>(forest.n_trees);
+  const __m256d lr = _mm256_set1_pd(learning_rate);
+  const __m256i xff = _mm256_set1_epi32(0xff);
+  const __m256i one = _mm256_set1_epi32(1);
+  const auto ip = static_cast<int>(p);
+  const __m256i lane_off =
+      _mm256_mullo_epi32(_mm256_set_epi32(7, 6, 5, 4, 3, 2, 1, 0),
+                         _mm256_set1_epi32(ip));
+  std::size_t r = lo;
+  // Two 8-row groups x two trees in flight: the heap walk is a chain of
+  // dependent gathers (split -> bins -> next idx), so a single group would
+  // be latency-bound; four independent chains keep the gather ports busy.
+  for (; r + 16 <= hi; r += 16) {
+    const __m256i rbA = _mm256_add_epi32(
+        _mm256_set1_epi32(static_cast<int>(r) * ip), lane_off);
+    const __m256i rbB = _mm256_add_epi32(
+        _mm256_set1_epi32(static_cast<int>(r + 8) * ip), lane_off);
+    __m256d accA_lo = _mm256_loadu_pd(out + r);
+    __m256d accA_hi = _mm256_loadu_pd(out + r + 4);
+    __m256d accB_lo = _mm256_loadu_pd(out + r + 8);
+    __m256d accB_hi = _mm256_loadu_pd(out + r + 12);
+    std::size_t t = 0;
+    for (; t + 2 <= n_trees; t += 2) {
+      const int* sp0 = split + t * static_cast<std::size_t>(slots);
+      const int* sp1 = sp0 + slots;
+      __m256i iA0 = _mm256_setzero_si256();
+      __m256i iB0 = _mm256_setzero_si256();
+      __m256i iA1 = _mm256_setzero_si256();
+      __m256i iB1 = _mm256_setzero_si256();
+      for (std::int32_t d = D; d > 0; --d) {
+        iA0 = walk_step(sp0, bins, rbA, iA0, xff, one);
+        iB0 = walk_step(sp0, bins, rbB, iB0, xff, one);
+        iA1 = walk_step(sp1, bins, rbA, iA1, xff, one);
+        iB1 = walk_step(sp1, bins, rbB, iB1, xff, one);
+      }
+      // After D steps idx is in [slots, 2*slots]; leaf value index is
+      // t*leaves + idx - slots.
+      const __m256i v0 = _mm256_set1_epi32(
+          static_cast<int>(t) * leaves - slots);
+      const __m256i v1 = _mm256_add_epi32(v0, _mm256_set1_epi32(leaves));
+      // Tree t strictly before tree t+1 per accumulator — the identical
+      // double-precision add order as the scalar walk.
+      accumulate_leaves(value, _mm256_add_epi32(iA0, v0), lr, accA_lo, accA_hi);
+      accumulate_leaves(value, _mm256_add_epi32(iB0, v0), lr, accB_lo, accB_hi);
+      accumulate_leaves(value, _mm256_add_epi32(iA1, v1), lr, accA_lo, accA_hi);
+      accumulate_leaves(value, _mm256_add_epi32(iB1, v1), lr, accB_lo, accB_hi);
+    }
+    for (; t < n_trees; ++t) {  // odd forest size: last tree, two chains
+      const int* sp = split + t * static_cast<std::size_t>(slots);
+      __m256i iA = _mm256_setzero_si256();
+      __m256i iB = _mm256_setzero_si256();
+      for (std::int32_t d = D; d > 0; --d) {
+        iA = walk_step(sp, bins, rbA, iA, xff, one);
+        iB = walk_step(sp, bins, rbB, iB, xff, one);
+      }
+      const __m256i v0 = _mm256_set1_epi32(
+          static_cast<int>(t) * leaves - slots);
+      accumulate_leaves(value, _mm256_add_epi32(iA, v0), lr, accA_lo, accA_hi);
+      accumulate_leaves(value, _mm256_add_epi32(iB, v0), lr, accB_lo, accB_hi);
+    }
+    _mm256_storeu_pd(out + r, accA_lo);
+    _mm256_storeu_pd(out + r + 4, accA_hi);
+    _mm256_storeu_pd(out + r + 8, accB_lo);
+    _mm256_storeu_pd(out + r + 12, accB_hi);
+  }
+  for (; r < hi; ++r) {
+    out[r] = predict_forest_row_scalar(forest, bins, p, r, learning_rate,
+                                       out[r]);
+  }
+}
+
+#else  // !defined(__AVX2__)
+
+// The compiler cannot target AVX2: simd_compiled() is false, so these are
+// unreachable. Aborting (rather than silently falling back) turns a broken
+// dispatch gate into a loud failure.
+void hist_accumulate_avx2(const std::uint16_t*, std::size_t,
+                          const std::uint32_t*, std::size_t, std::size_t,
+                          const std::int32_t*, std::int64_t*,
+                          std::int64_t*) noexcept {
+  std::abort();
+}
+
+void predict_forest_avx2(const PackedForest&, const std::uint8_t*, std::size_t,
+                         std::size_t, std::size_t, double, double*) noexcept {
+  std::abort();
+}
+
+#endif  // defined(__AVX2__)
+
+}  // namespace helios::ml::kernels

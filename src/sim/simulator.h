@@ -38,7 +38,6 @@ using PriorityFn = std::function<double(const trace::JobRecord&)>;
 /// per VC concurrently on the shared thread pool; kSerial runs shards
 /// sequentially in VC order on the calling thread. Both produce identical
 /// SimResults (asserted by the determinism suite).
-using SimExecution = common::ExecMode;
 
 struct SimConfig {
   SchedulerPolicy policy = SchedulerPolicy::kFifo;

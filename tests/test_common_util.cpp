@@ -1,11 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory_resource>
 #include <sstream>
+#include <unordered_map>
 
+#include "common/arena.h"
 #include "common/csv.h"
 #include "common/env.h"
 #include "common/interner.h"
+#include "common/simd.h"
 #include "common/text_table.h"
 #include "common/thread_pool.h"
 
@@ -92,6 +98,68 @@ TEST(ThreadPool, PropagatesExceptions) {
 
 TEST(ThreadPool, EmptyRangeIsNoop) {
   parallel_for(10, 10, [](std::size_t) { FAIL(); });
+}
+
+TEST(MonotonicArena, BumpAllocatesAndAligns) {
+  common::MonotonicArena arena;
+  EXPECT_EQ(arena.bytes_reserved(), 0u);  // construction allocates nothing
+  EXPECT_EQ(arena.chunk_count(), 0u);
+  void* a = arena.allocate(10, 1);
+  void* b = arena.allocate(16, 16);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 16, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_GE(arena.bytes_used(), 26u);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+  // deallocate is a no-op: the memory stays valid until the arena dies.
+  arena.deallocate(a, 10, 1);
+  std::memset(a, 0xab, 10);
+}
+
+TEST(MonotonicArena, ChunksGrowAndOversizedAllocationsWork) {
+  common::MonotonicArena arena(256);
+  for (int i = 0; i < 64; ++i) {
+    void* p = arena.allocate(64, 8);
+    std::memset(p, i, 64);  // every pointer must be distinct, writable memory
+  }
+  EXPECT_GT(arena.chunk_count(), 1u);  // 4 KiB of 64B blocks outgrew 256B
+  // An allocation far beyond the doubling schedule gets its own chunk.
+  void* big = arena.allocate(std::size_t{3} << 20, 64);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0xcd, std::size_t{3} << 20);
+  EXPECT_GE(arena.bytes_reserved(), std::size_t{3} << 20);
+}
+
+TEST(MonotonicArena, BacksPmrContainers) {
+  common::MonotonicArena arena;
+  {
+    std::pmr::unordered_map<int, int> m(&arena);
+    for (int i = 0; i < 1000; ++i) m[i] = i * 3;
+    EXPECT_EQ(m.at(999), 2997);
+    EXPECT_GT(arena.bytes_used(), 1000u * sizeof(int) * 2);
+  }
+  // The map's destructor "freed" into the arena (a no-op); only the arena's
+  // destruction releases the chunks.
+  EXPECT_GT(arena.bytes_reserved(), 0u);
+}
+
+TEST(Simd, DispatchGatesAreConsistent) {
+  // compiled ⊇ supported-and-usable: simd_enabled() may never report true
+  // unless the kernels were compiled and the CPU can run them.
+  if (common::simd_enabled()) {
+    EXPECT_TRUE(common::simd_compiled());
+    EXPECT_TRUE(common::simd_supported());
+  }
+  const bool prev = common::simd_enabled();
+  // Forcing off always works; forcing on succeeds iff compiled && supported.
+  EXPECT_FALSE(common::set_simd_enabled(false));
+  EXPECT_EQ(common::set_simd_enabled(true),
+            common::simd_compiled() && common::simd_supported());
+  common::set_simd_enabled(prev);
+  EXPECT_EQ(common::simd_enabled(), prev);
+  // simd_mode() names the active configuration for bench/CI logs.
+  EXPECT_FALSE(common::simd_mode().empty());
 }
 
 TEST(Env, FallbacksAndParsing) {

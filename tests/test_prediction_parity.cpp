@@ -12,14 +12,55 @@
 //  * OnlinePriorityEvaluator's chunked replay-window mode must reproduce
 //    the serial reference — priorities, prediction-quality vectors, and the
 //    service's final rolling state — for any window count.
+//  * The AVX2 kernels (histogram accumulation, batched forest walk) must be
+//    bit-identical to the scalar forms: fits, predict_many, and evaluator
+//    output are compared with the dispatch forced on vs off. Skipped (not
+//    silently passed) where the hardware or build lacks AVX2.
+//  * Nodes at or above the packed 24-bit row cap shard into wide histograms
+//    instead of falling back to GBDTEngine::kReference; an injected tiny cap
+//    drives that path at test scale and must not change a single bit.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "common/simd.h"
 #include "core/qssf_service.h"
 #include "ml/dataset.h"
 #include "ml/gbdt.h"
 #include "trace/synthetic.h"
+
+namespace {
+
+/// Forces the SIMD dispatch for one scope; restores the prior state on exit.
+/// `active` reports whether the requested state actually took effect (asking
+/// for SIMD on a scalar-only build/CPU yields false — callers GTEST_SKIP).
+class ScopedSimd {
+ public:
+  explicit ScopedSimd(bool on)
+      : prev_(helios::common::simd_enabled()),
+        active_(helios::common::set_simd_enabled(on) == on) {}
+  ~ScopedSimd() { helios::common::set_simd_enabled(prev_); }
+  ScopedSimd(const ScopedSimd&) = delete;
+  ScopedSimd& operator=(const ScopedSimd&) = delete;
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+ private:
+  bool prev_;
+  bool active_;
+};
+
+/// Restores the injectable packed-row cap on scope exit.
+class ScopedPackedRowLimit {
+ public:
+  explicit ScopedPackedRowLimit(std::size_t limit) {
+    helios::ml::gbdt_set_packed_row_limit(limit);
+  }
+  ~ScopedPackedRowLimit() { helios::ml::gbdt_set_packed_row_limit(0); }
+  ScopedPackedRowLimit(const ScopedPackedRowLimit&) = delete;
+  ScopedPackedRowLimit& operator=(const ScopedPackedRowLimit&) = delete;
+};
+
+}  // namespace
 
 namespace helios::ml {
 namespace {
@@ -113,6 +154,108 @@ TEST(GbdtEngineParity, PredictManyMatchesPerRowBitwise) {
   }
 }
 
+// The AVX2 histogram kernel reorders only integer adds, so a fit with the
+// dispatch on must reproduce the scalar fit bit-for-bit — trees, thresholds,
+// leaf values, gains, and per-iteration RMSE — across configs.
+TEST(SimdParity, FitBitIdenticalToScalar) {
+  {
+    ScopedSimd probe(true);
+    if (!probe.active()) GTEST_SKIP() << "AVX2 unavailable: " << common::simd_mode();
+  }
+  auto gen = trace::GeneratorConfig::helios(trace::helios_cluster("Venus"), 23,
+                                            0.02);
+  const Dataset data = trace_dataset(trace::SyntheticTraceGenerator(gen).generate());
+  GBDTConfig configs[2];
+  configs[0].n_trees = 10;
+  configs[1].n_trees = 8;
+  configs[1].max_depth = 4;
+  configs[1].max_bins = 33;
+  configs[1].subsample = 1.0;
+  for (const GBDTConfig& cfg : configs) {
+    GBDTRegressor simd_model(cfg);
+    GBDTRegressor scalar_model(cfg);
+    {
+      ScopedSimd simd(true);
+      simd_model.fit(data);
+    }
+    {
+      ScopedSimd scalar(false);
+      scalar_model.fit(data);
+    }
+    ASSERT_TRUE(simd_model.trained());
+    expect_models_identical(simd_model, scalar_model);
+  }
+}
+
+// The AVX2 forest walk performs the same separate multiply-then-add per
+// (row, tree) as the scalar loop, so batched predictions must match the
+// scalar batch AND the per-row reference bitwise — including the tail rows
+// the kernel hands back to the scalar walker.
+TEST(SimdParity, PredictManyBitIdenticalToScalar) {
+  {
+    ScopedSimd probe(true);
+    if (!probe.active()) GTEST_SKIP() << "AVX2 unavailable: " << common::simd_mode();
+  }
+  auto gen = trace::GeneratorConfig::helios(trace::helios_cluster("Venus"), 31,
+                                            0.02);
+  const Dataset data = trace_dataset(trace::SyntheticTraceGenerator(gen).generate());
+  GBDTConfig cfg;
+  cfg.n_trees = 12;
+  GBDTRegressor model(cfg);
+  model.fit(data);
+  std::vector<double> simd_out;
+  std::vector<double> scalar_out;
+  {
+    ScopedSimd simd(true);
+    simd_out = model.predict_many(data);
+  }
+  {
+    ScopedSimd scalar(false);
+    scalar_out = model.predict_many(data);
+  }
+  ASSERT_EQ(simd_out.size(), data.rows());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    ASSERT_EQ(simd_out[r], scalar_out[r]) << "row " << r;
+    ASSERT_EQ(simd_out[r], model.predict(data.row(r))) << "row " << r;
+  }
+}
+
+// Lifted row cap: with the packed 24-bit limit injected down to toy scale,
+// nodes shard into wide histograms (observable via the build counter) and
+// the fit stays bit-identical to both the default-cap fit and the
+// from-scratch reference engine — no fallback, no drift. Runs on both sides
+// of the SIMD dispatch.
+TEST(SimdParity, WideShardedHistogramsMatchPackedAndReference) {
+  auto gen = trace::GeneratorConfig::helios(trace::helios_cluster("Venus"), 37,
+                                            0.02);
+  const Dataset data = trace_dataset(trace::SyntheticTraceGenerator(gen).generate());
+  ASSERT_GT(data.rows(), 1024u);
+  GBDTConfig cfg;
+  cfg.n_trees = 8;
+  GBDTConfig ref_cfg = cfg;
+  ref_cfg.engine = GBDTEngine::kReference;
+
+  GBDTRegressor default_cap_model(cfg);
+  default_cap_model.fit(data);
+  GBDTRegressor ref_model(ref_cfg);
+  ref_model.fit(data);
+
+  for (const bool simd_on : {true, false}) {
+    ScopedSimd simd(simd_on);
+    if (simd_on && !simd.active()) continue;  // covered by the scalar pass
+    ScopedPackedRowLimit cap(512);
+    const std::uint64_t wide_before = gbdt_wide_histogram_builds();
+    GBDTRegressor sharded_model(cfg);
+    sharded_model.fit(data);
+    // The root (and every early node) exceeds the injected cap, so the wide
+    // path must actually have run.
+    EXPECT_GT(gbdt_wide_histogram_builds(), wide_before)
+        << "simd=" << simd_on;
+    expect_models_identical(sharded_model, default_cap_model);
+    expect_models_identical(sharded_model, ref_model);
+  }
+}
+
 }  // namespace
 }  // namespace helios::ml
 
@@ -167,6 +310,38 @@ TEST(EvaluatorParity, ChunkedMatchesSerialBitwise) {
   }
 }
 
+// End-to-end dispatch sweep: the whole evaluator pipeline (GBDT fit +
+// batched predict_many + windowed replay) must produce bit-identical
+// priorities and quality vectors with SIMD forced on vs forced off.
+TEST(EvaluatorParity, SimdDispatchBitIdentical) {
+  {
+    ScopedSimd probe(true);
+    if (!probe.active()) {
+      GTEST_SKIP() << "AVX2 unavailable: " << common::simd_mode();
+    }
+  }
+  auto gen = trace::GeneratorConfig::helios(trace::helios_cluster("Venus"), 41,
+                                            0.02);
+  const trace::Trace t = trace::SyntheticTraceGenerator(gen).generate();
+  const auto train =
+      t.between(trace::helios_trace_begin(), from_civil(2020, 9, 1));
+  const auto eval = t.between(from_civil(2020, 9, 1), trace::helios_trace_end());
+
+  QssfConfig cfg;
+  cfg.gbdt.n_trees = 12;
+  auto run = [&](bool simd_on) {
+    ScopedSimd simd(simd_on);
+    QssfService svc(cfg);
+    svc.fit(train);
+    OnlinePriorityEvaluator ev(svc, eval, {});
+    return std::make_pair(ev.predicted_gpu_time(), ev.actual_gpu_time());
+  };
+  const auto simd_result = run(true);
+  const auto scalar_result = run(false);
+  ASSERT_EQ(simd_result.first, scalar_result.first);
+  ASSERT_EQ(simd_result.second, scalar_result.second);
+}
+
 // A copy-on-write overlay must be observationally bit-identical to a plain
 // estimator that started from a full copy of the base — estimates for known,
 // touched, and unknown users alike — while materializing only the user
@@ -205,6 +380,9 @@ TEST(EvaluatorParity, RollingOverlayMatchesFullCopy) {
   // would carry (the September stream touches a subset of all-time users).
   EXPECT_GT(overlay.delta_users(), 0u);
   EXPECT_LT(overlay.delta_users(), t.users().size());
+  // ...and its delta's node storage bump-allocates from the overlay's own
+  // arena, not the global heap.
+  EXPECT_GT(overlay.arena_bytes(), 0u);
 
   // Flattening reproduces the full-copy state exactly, double-feed dedupe
   // included.

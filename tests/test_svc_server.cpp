@@ -34,13 +34,8 @@
 namespace helios::svc {
 namespace {
 
-// The one-release compat aliases of the ExecMode unification: the retired
-// per-layer enum spellings must keep compiling and mean what they meant.
-static_assert(std::is_same_v<core::EvalExecution, common::ExecMode>);
-static_assert(std::is_same_v<sim::SimExecution, common::ExecMode>);
-static_assert(std::is_same_v<forecast::BacktestExecution, common::ExecMode>);
-static_assert(common::ExecMode::kSharded == common::ExecMode::kParallel);
-static_assert(common::ExecMode::kChunked == common::ExecMode::kParallel);
+// The ExecMode unification is complete: the per-layer compat aliases are
+// gone, and the one enum has exactly the two contractual values.
 static_assert(common::ExecMode::kSerial != common::ExecMode::kParallel);
 
 /// Deterministic workload: seed-42 Venus, April-August train / September
