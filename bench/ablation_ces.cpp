@@ -20,19 +20,19 @@ int main() {
 
   const auto& traces = bench::operated_helios_traces();
   const auto it = std::find_if(traces.begin(), traces.end(), [](const auto& t) {
-    return t.cluster().name == "Earth";
+    return t->cluster().name == "Earth";
   });
   const auto begin = helios::from_civil(2020, 9, 1);
   const auto end = helios::from_civil(2020, 9, 22);
 
   sim::SimConfig cfg;
-  const auto whole = sim::ClusterSimulator(it->cluster(), cfg).run(*it);
+  const auto whole = sim::ClusterSimulator((*it)->cluster(), cfg).run(**it);
   const auto history = whole.busy_nodes.between(whole.busy_nodes.begin, begin);
 
   auto replay = [&](core::CesConfig cc) {
     core::CesService svc(cc, std::make_unique<forecast::GBDTForecaster>());
     svc.fit(history);
-    return svc.replay(*it, history, begin, end);
+    return svc.replay(**it, history, begin, end);
   };
 
   TextTable ts({"sigma", "avg DRS nodes", "wake-ups/day", "affected jobs",

@@ -22,11 +22,11 @@ int main() {
 
   const auto& traces = bench::operated_helios_traces();
   const auto it = std::find_if(traces.begin(), traces.end(), [](const auto& t) {
-    return t.cluster().name == "Earth";
+    return t->cluster().name == "Earth";
   });
   sim::SimConfig cfg;
   cfg.backfill = true;
-  const auto run = sim::ClusterSimulator(it->cluster(), cfg).run(*it);
+  const auto run = sim::ClusterSimulator((*it)->cluster(), cfg).run(**it);
   // Clip to the published window: past trace end the cluster drains out
   // (no new arrivals), which is not a regime the service ever forecasts.
   const auto series = run.busy_nodes.between(run.busy_nodes.begin,

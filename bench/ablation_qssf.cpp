@@ -9,6 +9,7 @@
 
 #include "bench_common.h"
 #include "common/text_table.h"
+#include "core/qssf_service.h"
 #include "stats/correlation.h"
 
 int main() {
@@ -22,11 +23,11 @@ int main() {
 
   const auto& traces = bench::helios_traces();
   const auto it = std::find_if(traces.begin(), traces.end(), [](const auto& t) {
-    return t.cluster().name == "Venus";
+    return t->cluster().name == "Venus";
   });
-  const auto train = it->between(0, helios::from_civil(2020, 9, 1));
+  const auto train = (*it)->between(0, helios::from_civil(2020, 9, 1));
   const auto eval =
-      it->between(helios::from_civil(2020, 9, 1), helios::trace::helios_trace_end());
+      (*it)->between(helios::from_civil(2020, 9, 1), helios::trace::helios_trace_end());
 
   sim::SimConfig fifo_cfg;
   const auto fifo = sim::ClusterSimulator(eval.cluster(), fifo_cfg).run(eval);

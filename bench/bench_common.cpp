@@ -16,15 +16,47 @@ std::uint64_t seed() {
   return s;
 }
 
-const std::vector<trace::Trace>& helios_traces() {
-  static const std::vector<trace::Trace> traces =
-      trace::generate_helios(seed(), scale());
+sweep::TraceStore& trace_store() {
+  static sweep::TraceStore store;
+  return store;
+}
+
+namespace {
+
+const char* const kHeliosNames[] = {"Venus", "Earth", "Saturn", "Uranus"};
+
+std::vector<TracePtr> fetch_helios(bool operated) {
+  std::vector<TracePtr> traces;
+  traces.reserve(std::size(kHeliosNames));
+  for (const char* name : kHeliosNames) {
+    traces.push_back(trace_store().get(
+        sweep::TraceKey::workload(name, seed(), scale(), operated)));
+  }
+  return traces;
+}
+
+}  // namespace
+
+const std::vector<TracePtr>& helios_traces() {
+  static const std::vector<TracePtr> traces = fetch_helios(/*operated=*/false);
   return traces;
 }
 
 const trace::Trace& philly_trace() {
-  static const trace::Trace t = trace::generate_philly(seed(), scale());
-  return t;
+  static const TracePtr t = trace_store().get(
+      sweep::TraceKey::workload("Philly", seed(), scale()));
+  return *t;
+}
+
+const std::vector<TracePtr>& operated_helios_traces() {
+  static const std::vector<TracePtr> traces = fetch_helios(/*operated=*/true);
+  return traces;
+}
+
+const trace::Trace& operated_philly_trace() {
+  static const TracePtr t = trace_store().get(sweep::TraceKey::workload(
+      "Philly", seed(), scale(), /*operated=*/true));
+  return *t;
 }
 
 void print_header(const std::string& experiment, const std::string& title,
@@ -41,101 +73,6 @@ void print_expectation(const std::string& what, const std::string& paper,
                        const std::string& measured) {
   std::printf("  %-44s paper: %-18s measured: %s\n", what.c_str(), paper.c_str(),
               measured.c_str());
-}
-
-const std::vector<trace::Trace>& operated_helios_traces() {
-  static const std::vector<trace::Trace> traces = [] {
-    std::vector<trace::Trace> ts = trace::generate_helios(seed(), scale());
-    for (auto& t : ts) sim::operate_fifo(t);
-    return ts;
-  }();
-  return traces;
-}
-
-const trace::Trace& operated_philly_trace() {
-  static const trace::Trace t = [] {
-    trace::Trace p = trace::generate_philly(seed(), scale());
-    sim::operate_fifo(p);
-    return p;
-  }();
-  return t;
-}
-
-SchedulerStudy run_scheduler_study(const trace::Trace& full, UnixTime train_end,
-                                   UnixTime eval_end) {
-  SchedulerStudy study;
-  const trace::Trace train = full.between(0, train_end);
-  study.eval = full.between(train_end, eval_end);
-
-  core::QssfService service;
-  service.fit(train);
-  core::OnlinePriorityEvaluator evaluator(service, study.eval);
-  study.qssf_predicted_gpu_time = evaluator.predicted_gpu_time();
-  study.qssf_actual_gpu_time = evaluator.actual_gpu_time();
-
-  auto run = [&](sim::SchedulerPolicy policy, sim::PriorityFn fn) {
-    sim::SimConfig cfg;
-    cfg.policy = policy;
-    cfg.priority_fn = std::move(fn);
-    return sim::ClusterSimulator(study.eval.cluster(), cfg).run(study.eval);
-  };
-  study.fifo = run(sim::SchedulerPolicy::kFifo, nullptr);
-  study.sjf = run(sim::SchedulerPolicy::kSjf, nullptr);
-  study.srtf = run(sim::SchedulerPolicy::kSrtf, nullptr);
-  study.qssf = run(sim::SchedulerPolicy::kQssf, evaluator.as_priority_fn());
-  return study;
-}
-
-CesStudy run_ces_study(const trace::Trace& operated, UnixTime eval_begin,
-                       UnixTime eval_end, bool include_vanilla) {
-  // Running-nodes history from the FIFO-operated schedule.
-  sim::SimConfig cfg;
-  sim::ClusterSimulator sim(operated.cluster(), cfg);
-  const auto whole = sim.run(operated);
-  const auto history = whole.busy_nodes.between(whole.busy_nodes.begin, eval_begin);
-
-  CesStudy study;
-  core::CesConfig base_cfg;
-  // The sigma buffer is an absolute node count in the paper (~4 on 143-269
-  // node clusters); keep it proportional under scaled-down clusters.
-  base_cfg.sigma = std::max(1, operated.cluster().nodes / 30);
-  {
-    core::CesService svc(base_cfg,
-                         std::make_unique<forecast::GBDTForecaster>());
-    svc.fit(history);
-    study.ces = svc.replay(operated, history, eval_begin, eval_end);
-  }
-  if (include_vanilla) {
-    core::CesConfig vcfg = base_cfg;
-    vcfg.vanilla_drs = true;
-    core::CesService svc(vcfg,
-                         std::make_unique<forecast::SeasonalNaiveForecaster>(144));
-    svc.fit(history);
-    study.vanilla = svc.replay(operated, history, eval_begin, eval_end);
-  }
-  return study;
-}
-
-std::vector<double> jct_values(const sim::SimResult& r) {
-  std::vector<double> out;
-  out.reserve(r.outcomes.size());
-  for (const auto& o : r.outcomes) {
-    if (!o.rejected && o.start != trace::kNeverStarted) {
-      out.push_back(static_cast<double>(o.jct()));
-    }
-  }
-  return out;
-}
-
-std::vector<double> queue_delay_values(const sim::SimResult& r) {
-  std::vector<double> out;
-  out.reserve(r.outcomes.size());
-  for (const auto& o : r.outcomes) {
-    if (!o.rejected && o.start != trace::kNeverStarted) {
-      out.push_back(static_cast<double>(o.queue_delay()));
-    }
-  }
-  return out;
 }
 
 }  // namespace helios::bench

@@ -2,20 +2,26 @@
 //
 // Every bench binary regenerates one table or figure from the paper. They
 // share: the workload scale knob (HELIOS_SCALE / HELIOS_SEED), a process-wide
-// cache of generated traces, and uniform experiment headers so the combined
-// bench output reads like the paper's evaluation section.
+// sweep::TraceStore so all binaries and library code draw traces from one
+// generate-once cache, and uniform experiment headers so the combined bench
+// output reads like the paper's evaluation section.
+//
+// The study runners themselves live in the library (sweep/studies.h) and run
+// on the scenario engine; this header re-exports them under helios::bench so
+// the fig/table binaries stay thin callers.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "core/ces_service.h"
-#include "core/qssf_service.h"
-#include "sim/simulator.h"
-#include "trace/synthetic.h"
+#include "sweep/studies.h"
+#include "sweep/trace_store.h"
 #include "trace/trace.h"
 
 namespace helios::bench {
+
+using TracePtr = sweep::TraceStore::TracePtr;
 
 /// Workload scale for this process (HELIOS_SCALE, default 0.25).
 [[nodiscard]] double scale();
@@ -23,11 +29,22 @@ namespace helios::bench {
 /// RNG seed for this process (HELIOS_SEED, default 42).
 [[nodiscard]] std::uint64_t seed();
 
-/// The four Helios traces, generated once per process and cached.
-[[nodiscard]] const std::vector<trace::Trace>& helios_traces();
+/// The process-wide trace cache. Bench wrappers below and any direct
+/// TraceKey lookups share this one store, so each (workload, seed, scale)
+/// trace is materialized at most once per process.
+[[nodiscard]] sweep::TraceStore& trace_store();
 
-/// The Philly trace, generated once per process and cached.
+/// The four Helios traces at scale()/seed(), shared immutably out of
+/// trace_store() (generated on first use).
+[[nodiscard]] const std::vector<TracePtr>& helios_traces();
+
+/// The Philly trace, shared out of trace_store().
 [[nodiscard]] const trace::Trace& philly_trace();
+
+/// The Helios traces *operated under FIFO* (start times assigned by the
+/// simulator, as Slurm did for the real trace).
+[[nodiscard]] const std::vector<TracePtr>& operated_helios_traces();
+[[nodiscard]] const trace::Trace& operated_philly_trace();
 
 /// Prints the standard experiment banner:
 ///   experiment id, paper reference, scale/seed, free-form notes.
@@ -38,44 +55,12 @@ void print_header(const std::string& experiment, const std::string& title,
 void print_expectation(const std::string& what, const std::string& paper,
                        const std::string& measured);
 
-/// The Helios traces *operated under FIFO* (start times assigned by the
-/// simulator, as Slurm did for the real trace). Cached per process.
-[[nodiscard]] const std::vector<trace::Trace>& operated_helios_traces();
-[[nodiscard]] const trace::Trace& operated_philly_trace();
-
-/// One scheduler-comparison experiment (§4.2.3 protocol): train QSSF on
-/// [trace begin, train_end), evaluate all four policies on GPU jobs
-/// submitted in [train_end, eval_end).
-struct SchedulerStudy {
-  trace::Trace eval;  ///< evaluation window slice (GPU + CPU jobs)
-  sim::SimResult fifo;
-  sim::SimResult sjf;
-  sim::SimResult srtf;
-  sim::SimResult qssf;
-  std::vector<double> qssf_predicted_gpu_time;  ///< aligned with actual below
-  std::vector<double> qssf_actual_gpu_time;
-};
-
-[[nodiscard]] SchedulerStudy run_scheduler_study(const trace::Trace& full,
-                                                 UnixTime train_end,
-                                                 UnixTime eval_end);
-
-/// One CES experiment (§4.3.3 protocol): fit a GBDT node forecaster on the
-/// FIFO-operated running-nodes series before eval_begin, replay
-/// [eval_begin, eval_end) under Algorithm 2 (and optionally vanilla DRS).
-struct CesStudy {
-  core::CesResult ces;
-  core::CesResult vanilla;
-};
-
-[[nodiscard]] CesStudy run_ces_study(const trace::Trace& operated,
-                                     UnixTime eval_begin, UnixTime eval_end,
-                                     bool include_vanilla = true);
-
-/// JCT values (seconds) from a sim result, excluding rejected jobs.
-[[nodiscard]] std::vector<double> jct_values(const sim::SimResult& r);
-
-/// Queue-delay values (seconds) from a sim result.
-[[nodiscard]] std::vector<double> queue_delay_values(const sim::SimResult& r);
+/// Study runners (sweep/studies.h), re-exported for the harnesses.
+using sweep::CesStudy;
+using sweep::SchedulerStudy;
+using sweep::jct_values;
+using sweep::queue_delay_values;
+using sweep::run_ces_study;
+using sweep::run_scheduler_study;
 
 }  // namespace helios::bench

@@ -19,7 +19,8 @@ int main() {
 
   // (a) pooled Helios duration sample vs Philly.
   std::vector<double> helios_durations;
-  for (const auto& t : bench::helios_traces()) {
+  for (const auto& tp : bench::helios_traces()) {
+    const helios::trace::Trace& t = *tp;
     for (const auto& j : t.jobs()) {
       if (j.is_gpu_job()) helios_durations.push_back(j.duration);
     }
@@ -41,7 +42,8 @@ int main() {
   // (b) GPU time by final status.
   std::array<double, 3> helios_time{};
   double helios_total = 0.0;
-  for (const auto& t : bench::helios_traces()) {
+  for (const auto& tp : bench::helios_traces()) {
+    const helios::trace::Trace& t = *tp;
     for (const auto& j : t.jobs()) {
       if (!j.is_gpu_job()) continue;
       helios_time[static_cast<std::size_t>(j.state)] += j.gpu_time();

@@ -21,7 +21,8 @@ int main() {
   std::vector<std::array<double, 24>> util;
   std::vector<std::array<double, 24>> subs;
   std::vector<std::string> names;
-  for (const auto& t : bench::operated_helios_traces()) {
+  for (const auto& tp : bench::operated_helios_traces()) {
+    const helios::trace::Trace& t = *tp;
     const auto series = analysis::utilization_series(t, begin, end, 3600);
     util.push_back(analysis::hourly_profile(series));
     subs.push_back(analysis::hourly_submission_rate(t, begin, end));

@@ -19,7 +19,8 @@ int main() {
                                   "Jun", "Jul", "Aug", "Sep", "Oct", "Nov",
                                   "Dec"};
 
-  for (const auto& t : bench::operated_helios_traces()) {
+  for (const auto& tp : bench::operated_helios_traces()) {
+    const helios::trace::Trace& t = *tp;
     const auto months = analysis::monthly_trends(t, begin, end);
     TextTable table({"month", "single-GPU jobs", "multi-GPU jobs", "avg util",
                      "util from single", "util from multi"});

@@ -20,9 +20,9 @@ int main() {
 
   const auto& traces = bench::operated_helios_traces();
   const auto it = std::find_if(traces.begin(), traces.end(), [](const auto& t) {
-    return t.cluster().name == "Earth";
+    return t->cluster().name == "Earth";
   });
-  const auto& earth = *it;
+  const helios::trace::Trace& earth = **it;
   const auto begin = helios::from_civil(2020, 5, 1);
   const auto end = helios::from_civil(2020, 6, 1);
   auto behaviors = analysis::vc_behaviors(earth, begin, end);

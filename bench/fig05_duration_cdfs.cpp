@@ -18,7 +18,8 @@ int main() {
   for (bool gpu : {true, false}) {
     std::vector<stats::Ecdf> cdfs;
     std::vector<std::string> names;
-    for (const auto& t : traces) {
+    for (const auto& tp : traces) {
+      const helios::trace::Trace& t = *tp;
       cdfs.push_back(analysis::duration_cdf(t, gpu));
       names.push_back(t.cluster().name);
     }

@@ -20,7 +20,8 @@ int main() {
   std::vector<std::map<int, std::pair<double, double>>> cdfs;  // gpus -> (job, time)
   std::vector<std::string> names;
   int max_size = 1;
-  for (const auto& t : traces) {
+  for (const auto& tp : traces) {
+    const helios::trace::Trace& t = *tp;
     std::map<int, std::pair<double, double>> m;
     for (const auto& b : analysis::job_size_distribution(t)) {
       m[b.gpus] = {b.job_cdf, b.gpu_time_cdf};

@@ -20,7 +20,8 @@ int main() {
   std::array<double, 3> cpu{};
   double gpu_n = 0.0;
   double cpu_n = 0.0;
-  for (const auto& t : bench::operated_helios_traces()) {
+  for (const auto& tp : bench::operated_helios_traces()) {
+    const helios::trace::Trace& t = *tp;
     for (const auto& j : t.jobs()) {
       auto& a = j.is_gpu_job() ? gpu : cpu;
       auto& n = j.is_gpu_job() ? gpu_n : cpu_n;
@@ -42,7 +43,8 @@ int main() {
 
   // (b) pooled status by GPU demand.
   std::map<int, std::array<double, 4>> by_size;  // gpus -> c/x/f/n
-  for (const auto& t : bench::operated_helios_traces()) {
+  for (const auto& tp : bench::operated_helios_traces()) {
+    const helios::trace::Trace& t = *tp;
     for (const auto& s : analysis::status_by_gpu_count(t)) {
       auto& a = by_size[s.gpus];
       a[0] += s.completed * static_cast<double>(s.jobs);

@@ -15,7 +15,8 @@ int main() {
   const auto& traces = bench::operated_helios_traces();
   TextTable table({"Cluster", "users", "top 5% GPU time", "top 10% GPU time",
                    "top 5% CPU time", "CPU users"});
-  for (const auto& t : traces) {
+  for (const auto& tp : traces) {
+    const helios::trace::Trace& t = *tp;
     const auto users = analysis::user_aggregates(t);
     std::vector<double> gpu_time;
     std::vector<double> cpu_time;

@@ -20,7 +20,8 @@ int main() {
 
   TextTable ta({"Cluster", "top 1% users' queuing", "top 5% users' queuing",
                 "top 25% users' queuing"});
-  for (const auto& t : traces) {
+  for (const auto& tp : traces) {
+    const helios::trace::Trace& t = *tp;
     const auto users = analysis::user_aggregates(t);
     std::vector<double> delay;
     for (const auto& u : users) delay.push_back(u.queue_delay);
@@ -36,7 +37,8 @@ int main() {
 
   // (b) completion-rate histogram pooled across clusters.
   helios::stats::Histogram hist(0.0, 1.0000001, 10);
-  for (const auto& t : traces) {
+  for (const auto& tp : traces) {
+    const helios::trace::Trace& t = *tp;
     for (const auto& u : analysis::user_aggregates(t)) {
       if (u.gpu_jobs >= 5) hist.add(u.completion_rate());
     }

@@ -18,7 +18,8 @@ int main() {
   const auto train_end = helios::from_civil(2020, 9, 1);
   const auto eval_end = helios::trace::helios_trace_end();
 
-  for (const auto& t : bench::helios_traces()) {
+  for (const auto& tp : bench::helios_traces()) {
+    const helios::trace::Trace& t = *tp;
     const auto study = bench::run_scheduler_study(t, train_end, eval_end);
     const stats::Ecdf fifo(bench::jct_values(study.fifo));
     const stats::Ecdf sjf(bench::jct_values(study.sjf));

@@ -17,10 +17,10 @@ int main() {
 
   const auto& traces = bench::helios_traces();
   const auto it = std::find_if(traces.begin(), traces.end(), [](const auto& t) {
-    return t.cluster().name == "Saturn";
+    return t->cluster().name == "Saturn";
   });
   const auto study = bench::run_scheduler_study(
-      *it, helios::from_civil(2020, 9, 1), helios::trace::helios_trace_end());
+      **it, helios::from_civil(2020, 9, 1), helios::trace::helios_trace_end());
 
   // Rank VCs by FIFO queuing delay.
   std::vector<std::size_t> order(study.fifo.vc_stats.size());

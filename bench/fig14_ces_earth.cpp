@@ -17,11 +17,11 @@ int main() {
 
   const auto& traces = bench::operated_helios_traces();
   const auto it = std::find_if(traces.begin(), traces.end(), [](const auto& t) {
-    return t.cluster().name == "Earth";
+    return t->cluster().name == "Earth";
   });
   const auto begin = helios::from_civil(2020, 9, 1);
   const auto end = helios::from_civil(2020, 9, 22);
-  const auto study = bench::run_ces_study(*it, begin, end,
+  const auto study = bench::run_ces_study(**it, begin, end,
                                           /*include_vanilla=*/false);
   const auto& r = study.ces;
 

@@ -20,7 +20,8 @@ int main() {
   std::int64_t nodes = 0;
   std::int64_t gpus = 0;
   std::int64_t jobs = 0;
-  for (const auto& t : bench::helios_traces()) {
+  for (const auto& tp : bench::helios_traces()) {
+    const helios::trace::Trace& t = *tp;
     const auto& c = t.cluster();
     table.add_row({c.name, TextTable::cell(static_cast<std::int64_t>(c.vc_count())),
                    TextTable::cell(static_cast<std::int64_t>(c.nodes)),

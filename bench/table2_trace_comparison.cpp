@@ -16,7 +16,8 @@ int main() {
   std::int64_t helios_vcs = 0;
   double gpu_dur_weighted = 0.0;
   double gpus_weighted = 0.0;
-  for (const auto& t : bench::helios_traces()) {
+  for (const auto& tp : bench::helios_traces()) {
+    const helios::trace::Trace& t = *tp;
     const auto s = analysis::summarize(t);
     helios_sum.total_jobs += s.total_jobs;
     helios_sum.gpu_jobs += s.gpu_jobs;

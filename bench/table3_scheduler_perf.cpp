@@ -24,7 +24,8 @@ int main() {
                       "Helios eval: September; Philly eval: Oct 15 - Nov 30");
 
   std::vector<Row> rows;
-  for (const auto& t : bench::helios_traces()) {
+  for (const auto& tp : bench::helios_traces()) {
+    const helios::trace::Trace& t = *tp;
     rows.push_back({t.cluster().name,
                     bench::run_scheduler_study(t, helios::from_civil(2020, 9, 1),
                                                helios::trace::helios_trace_end())});

@@ -52,7 +52,8 @@ int main() {
 
   TextTable table({"group", "Venus", "Earth", "Saturn", "Uranus", "Philly"});
   std::vector<std::array<double, 3>> all;
-  for (const auto& t : bench::helios_traces()) {
+  for (const auto& tp : bench::helios_traces()) {
+    const helios::trace::Trace& t = *tp;
     all.push_back(group_ratios(bench::run_scheduler_study(
         t, helios::from_civil(2020, 9, 1), helios::trace::helios_trace_end())));
   }

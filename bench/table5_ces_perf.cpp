@@ -20,7 +20,8 @@ int main() {
     bench::CesStudy study;
   };
   std::vector<Entry> entries;
-  for (const auto& t : bench::operated_helios_traces()) {
+  for (const auto& tp : bench::operated_helios_traces()) {
+    const helios::trace::Trace& t = *tp;
     entries.push_back({t.cluster().name,
                        bench::run_ces_study(t, helios::from_civil(2020, 9, 1),
                                             helios::from_civil(2020, 9, 22))});

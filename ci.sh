@@ -6,8 +6,15 @@
 #   ./ci.sh bench      full build + microbenchmark smoke run (short
 #                      --benchmark_min_time so perf regressions fail loudly
 #                      instead of silently; binaries are built -O2 -DNDEBUG);
-#                      also runs the serve replay driver, which writes
-#                      build/BENCH_svc.json
+#                      also runs the serve replay driver (writes
+#                      build/BENCH_svc.json) and the scenario sweep matrix
+#                      (writes build/BENCH_sweep.json)
+#   ./ci.sh sweep      full build + parity-gated scenario sweep at small
+#                      scale: sweep_matrix runs a 2-cluster x 4-policy x
+#                      2-seed grid through sweep::ScenarioEngine twice
+#                      (parallel task graph vs serial reference loop) and
+#                      exits non-zero unless every cell is bit-identical
+#                      and every trace was generated exactly once
 #   ./ci.sh serve      full build + streaming-service replay at small scale:
 #                      example_serve_replay tails a growing CSV, ingests it
 #                      through svc::PredictionServer with a mid-replay
@@ -35,8 +42,8 @@ cd "$(dirname "$0")"
 mode="${1:-full}"
 [ $# -gt 0 ] && shift
 case "$mode" in
-  full|smoke|bench|serve|docs|asan|simd) ;;
-  *) echo "usage: ./ci.sh [full|smoke|bench|serve|docs|asan|simd] [args...]" >&2; exit 2 ;;
+  full|smoke|bench|serve|sweep|docs|asan|simd) ;;
+  *) echo "usage: ./ci.sh [full|smoke|bench|serve|sweep|docs|asan|simd] [args...]" >&2; exit 2 ;;
 esac
 
 # Grep-based link/target validator: every backticked repo path, every
@@ -145,6 +152,23 @@ if [ "$mode" = bench ]; then
   HELIOS_SERVE_SCALE="${HELIOS_SERVE_SCALE:-0.05}" \
   HELIOS_SERVE_OUT=build/BENCH_svc.json \
     build/example_serve_replay
+  # Scenario sweep matrix: parity-gated grid run, and the source of
+  # BENCH_sweep.json (grid wall-clock, per-cell medians, parallel-vs-serial
+  # speedup).
+  HELIOS_SWEEP_SCALE="${HELIOS_SWEEP_SCALE:-0.05}" \
+  HELIOS_SWEEP_OUT=build/BENCH_sweep.json \
+    build/sweep_matrix
+  exit 0
+fi
+
+if [ "$mode" = sweep ]; then
+  # Sweep parity gate at small scale: every grid cell must be bit-identical
+  # between the parallel task graph and the serial reference loop, and every
+  # distinct trace key must be materialized exactly once.
+  HELIOS_SWEEP_SCALE="${HELIOS_SWEEP_SCALE:-0.05}" \
+  HELIOS_SWEEP_CLUSTERS="${HELIOS_SWEEP_CLUSTERS:-Venus,Earth}" \
+  HELIOS_SWEEP_SEEDS="${HELIOS_SWEEP_SEEDS:-2}" \
+    build/sweep_matrix
   exit 0
 fi
 

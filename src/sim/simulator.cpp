@@ -1,7 +1,10 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <cctype>
 #include <functional>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "common/thread_pool.h"
@@ -25,6 +28,22 @@ std::string_view to_string(SchedulerPolicy p) noexcept {
       return "QSSF";
   }
   return "?";
+}
+
+std::span<const SchedulerPolicy> all_policies() noexcept {
+  static constexpr SchedulerPolicy kAll[] = {
+      SchedulerPolicy::kFifo, SchedulerPolicy::kSjf, SchedulerPolicy::kSrtf,
+      SchedulerPolicy::kQssf};
+  return kAll;
+}
+
+SchedulerPolicy policy_from_string(std::string_view name) {
+  std::string upper(name);
+  for (char& c : upper) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  for (SchedulerPolicy p : all_policies()) {
+    if (upper == to_string(p)) return p;
+  }
+  throw std::invalid_argument("unknown scheduler policy: " + std::string(name));
 }
 
 ClusterSimulator::ClusterSimulator(trace::ClusterSpec spec, SimConfig config)

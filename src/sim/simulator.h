@@ -14,6 +14,7 @@
 
 #include <functional>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "common/exec_mode.h"
@@ -28,16 +29,18 @@ enum class SchedulerPolicy { kFifo, kSjf, kSrtf, kQssf };
 
 [[nodiscard]] std::string_view to_string(SchedulerPolicy p) noexcept;
 
+/// All four policies in declaration order — the policy axis a scenario sweep
+/// iterates (sweep/scenario.h).
+[[nodiscard]] std::span<const SchedulerPolicy> all_policies() noexcept;
+
+/// Parse "FIFO" / "SJF" / "SRTF" / "QSSF" (case-insensitive). Throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] SchedulerPolicy policy_from_string(std::string_view name);
+
 /// Priority for kQssf: expected GPU time of the job; lower runs first.
 /// Called concurrently from VC shards under common::ExecMode::kParallel, so
 /// it must be thread-safe (pure functions and const lookups are).
 using PriorityFn = std::function<double(const trace::JobRecord&)>;
-
-/// Deprecated alias (one release of source compat): the per-VC execution
-/// switch is now the library-wide common::ExecMode. kParallel runs one shard
-/// per VC concurrently on the shared thread pool; kSerial runs shards
-/// sequentially in VC order on the calling thread. Both produce identical
-/// SimResults (asserted by the determinism suite).
 
 struct SimConfig {
   SchedulerPolicy policy = SchedulerPolicy::kFifo;

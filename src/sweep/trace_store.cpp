@@ -1,0 +1,161 @@
+#include "sweep/trace_store.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+namespace helios::sweep {
+
+std::string_view to_string(TraceFamily f) noexcept {
+  switch (f) {
+    case TraceFamily::kHelios:
+      return "helios";
+    case TraceFamily::kPhilly:
+      return "philly";
+    case TraceFamily::kPai:
+      return "pai";
+    case TraceFamily::kCustom:
+      return "custom";
+  }
+  return "?";
+}
+
+std::string TraceKey::str() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, " seed=%llu scale=%g",
+                static_cast<unsigned long long>(seed), scale);
+  std::string s{to_string(family)};
+  if (!name.empty()) s += ":" + name;
+  s += buf;
+  if (operated) s += " operated";
+  return s;
+}
+
+TraceKey TraceKey::workload(const std::string& cluster_name, std::uint64_t seed,
+                            double scale, bool operated) {
+  TraceKey k;
+  k.name = cluster_name;
+  k.seed = seed;
+  k.scale = scale;
+  k.operated = operated;
+  if (cluster_name == "Philly") {
+    k.family = TraceFamily::kPhilly;
+  } else if (cluster_name == "PAI") {
+    k.family = TraceFamily::kPai;
+  } else {
+    k.family = TraceFamily::kHelios;
+    // Validates the name (throws std::invalid_argument on an unknown one).
+    (void)trace::helios_cluster(cluster_name);
+  }
+  return k;
+}
+
+TraceStore::TracePtr TraceStore::get(const TraceKey& key) {
+  std::promise<TracePtr> promise;
+  std::shared_future<TracePtr> fut;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      fut = promise.get_future().share();
+      entries_.emplace(key, fut);
+      builder = true;
+    } else {
+      fut = it->second;
+    }
+  }
+  if (!builder) {
+    TracePtr t = fut.get();  // rethrows the builder's exception, if any
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++hits_;
+    return t;
+  }
+  // Builder path: materialize without holding the lock so independent keys
+  // build concurrently and operated keys can fetch their raw sibling.
+  try {
+    TracePtr t = materialize(key);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++generations_;
+    }
+    promise.set_value(t);
+    return t;
+  } catch (...) {
+    // Un-publish the failed key so a later request can retry (or fail with
+    // its own error), then propagate.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      entries_.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+TraceStore::TracePtr TraceStore::put(const TraceKey& key, trace::Trace t) {
+  std::shared_future<TracePtr> existing;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      std::promise<TracePtr> promise;
+      auto ptr = std::make_shared<const trace::Trace>(std::move(t));
+      promise.set_value(ptr);
+      entries_.emplace(key, promise.get_future().share());
+      ++generations_;
+      return ptr;
+    }
+    existing = it->second;
+  }
+  return existing.get();
+}
+
+TraceStore::TracePtr TraceStore::materialize(const TraceKey& key) {
+  if (key.operated) {
+    TraceKey raw = key;
+    raw.operated = false;
+    TracePtr base = get(raw);
+    trace::Trace copy = *base;
+    sim::operate_fifo(copy);
+    return std::make_shared<const trace::Trace>(std::move(copy));
+  }
+  switch (key.family) {
+    case TraceFamily::kHelios:
+      return std::make_shared<const trace::Trace>(
+          trace::SyntheticTraceGenerator(
+              trace::GeneratorConfig::helios(trace::helios_cluster(key.name),
+                                             key.seed, key.scale))
+              .generate());
+    case TraceFamily::kPhilly:
+      return std::make_shared<const trace::Trace>(
+          trace::generate_philly(key.seed, key.scale));
+    case TraceFamily::kPai:
+      return std::make_shared<const trace::Trace>(
+          trace::generate_pai(key.seed, key.scale));
+    case TraceFamily::kCustom:
+      break;
+  }
+  throw std::invalid_argument("TraceStore: custom trace never put(): " +
+                              key.str());
+}
+
+std::int64_t TraceStore::generations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return generations_;
+}
+
+std::int64_t TraceStore::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t TraceStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace helios::sweep

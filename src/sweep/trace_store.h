@@ -1,0 +1,100 @@
+// Keyed, generate-once cache of immutable traces.
+//
+// Every scenario-sweep cell that replays the same workload shares one
+// materialized trace: the store maps a declarative TraceKey (workload family,
+// cluster name, seed, scale, operated-or-raw) to a shared_ptr<const Trace>,
+// generating the trace on first request and handing the same immutable object
+// to every later one. "Operated" keys derive from their raw sibling — the raw
+// trace is fetched (materializing it if needed), copied once, and run through
+// sim::operate_fifo so the copy carries the FIFO start times a production
+// Slurm would have assigned.
+//
+// Thread-safety: get()/put() may be called concurrently from pool workers
+// (the scenario engine materializes unique keys as level-0 tasks of its task
+// graph). The builder of a key publishes under a mutex; concurrent requests
+// for a key under construction wait on a shared future, so each key is
+// materialized exactly once per process no matter how many cells need it —
+// generations() counts materializations and is the hook sweep tests use to
+// assert the generate-once contract.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace helios::sweep {
+
+/// Workload families the store can generate on demand. kCustom keys cannot be
+/// generated — they must be preloaded with put() (e.g. an evaluation slice of
+/// a larger trace).
+enum class TraceFamily { kHelios, kPhilly, kPai, kCustom };
+
+[[nodiscard]] std::string_view to_string(TraceFamily f) noexcept;
+
+struct TraceKey {
+  TraceFamily family = TraceFamily::kCustom;
+  /// Helios cluster name ("Venus", ...) or a caller-chosen label for kCustom;
+  /// ignored for kPhilly/kPai (kept for display).
+  std::string name;
+  std::uint64_t seed = 42;
+  double scale = 1.0;
+  /// FIFO-operated variant (start times written back by the simulator).
+  bool operated = false;
+
+  [[nodiscard]] friend auto operator<=>(const TraceKey&, const TraceKey&) = default;
+
+  /// Stable display form, e.g. "helios:Venus seed=42 scale=0.05 operated".
+  [[nodiscard]] std::string str() const;
+
+  /// Key for a generatable workload by display name: the four Helios cluster
+  /// names, "Philly", or "PAI". Throws std::invalid_argument otherwise.
+  [[nodiscard]] static TraceKey workload(const std::string& cluster_name,
+                                         std::uint64_t seed, double scale,
+                                         bool operated = false);
+};
+
+class TraceStore {
+ public:
+  using TracePtr = std::shared_ptr<const trace::Trace>;
+
+  TraceStore() = default;
+  TraceStore(const TraceStore&) = delete;
+  TraceStore& operator=(const TraceStore&) = delete;
+
+  /// The trace for `key`, materializing it on first request. Blocks while
+  /// another thread builds the same key. Throws std::invalid_argument for a
+  /// kCustom key that was never put().
+  [[nodiscard]] TracePtr get(const TraceKey& key);
+
+  /// Preload a trace under `key` (typically TraceFamily::kCustom). If the key
+  /// is already present the existing trace wins and is returned — the store
+  /// never replaces a published trace.
+  TracePtr put(const TraceKey& key, trace::Trace t);
+
+  /// Number of traces materialized by this store (generated, derived, or
+  /// preloaded). Each key counts once, ever: a grid of N cells over K unique
+  /// workloads advances this by exactly K.
+  [[nodiscard]] std::int64_t generations() const;
+
+  /// Number of get() calls answered from an already-published entry.
+  [[nodiscard]] std::int64_t hits() const;
+
+  /// Distinct keys currently held.
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  TracePtr materialize(const TraceKey& key);
+
+  mutable std::mutex mutex_;
+  std::map<TraceKey, std::shared_future<TracePtr>> entries_;
+  std::int64_t generations_ = 0;
+  std::int64_t hits_ = 0;
+};
+
+}  // namespace helios::sweep

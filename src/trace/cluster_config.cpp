@@ -125,6 +125,15 @@ ClusterSpec philly_cluster() {
   return make_cluster("Philly", 358, 14, 4, 24, 103'467);
 }
 
+ClusterSpec pai_cluster() {
+  // Alibaba-PAI comparison cluster (Wang et al., arXiv:1910.05930): shared
+  // production nodes with 2 GPUs and a large CPU complement each — the
+  // heavier CPU component of that workload needs the cores. Sized between
+  // Venus and Saturn; the per-window job count reflects the characterized
+  // high-frequency short-job stream.
+  return make_cluster("PAI", 240, 18, 2, 96, 980'000);
+}
+
 ClusterSpec scale_cluster(const ClusterSpec& spec, double factor) {
   if (factor == 1.0) return spec;
   ClusterSpec out = spec;

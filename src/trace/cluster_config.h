@@ -59,6 +59,12 @@ struct ClusterSpec {
 /// the trace activity concentrates on ~358 GPU nodes across 14 VCs.
 [[nodiscard]] ClusterSpec philly_cluster();
 
+/// The Alibaba-PAI comparison cluster (Wang et al., arXiv:1910.05930):
+/// 2-GPU, CPU-rich nodes hosting the short-recurring-job workload family of
+/// trace::pai_knobs(). Not a Helios cluster — it exists so the scenario
+/// sweeps can face the schedulers with a genuinely different job mix.
+[[nodiscard]] ClusterSpec pai_cluster();
+
 /// Scale a cluster down (or up) for cheap experimentation: VC node counts are
 /// multiplied by `factor` (rounded), VCs that round to zero nodes are
 /// dropped, and the total is adjusted to round(nodes * factor). Workload

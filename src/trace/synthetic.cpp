@@ -169,6 +169,27 @@ ClusterWorkloadKnobs philly_knobs() {
   return k;
 }
 
+ClusterWorkloadKnobs pai_knobs() {
+  // Wang et al. (arXiv:1910.05930) characterize PAI as a stream of short,
+  // frequently resubmitted training jobs with a dominant CPU component:
+  // most tasks request no GPU at all, GPU requests concentrate on 1-2
+  // cards, and job medians sit at minutes rather than hours.
+  ClusterWorkloadKnobs k;
+  k.gpu_job_fraction = 0.40;       // heavier CPU component than any Helios cluster
+  k.target_utilization = 0.65;
+  k.cpu_instant_fraction = 0.10;   // CPU jobs are real work, not state queries
+  k.duration_median_scale = 0.20;  // minutes-scale medians
+  k.duration_spread = 1.6;         // narrower tail than Helios
+  k.single_gpu_bias = 0.70;        // GPU demand concentrates on 1-2 cards
+  k.n_users = 350;
+  k.month_volatility = 0.30;
+  k.failed_fast = true;
+  k.base_completion = 0.78;        // recurring production jobs mostly complete
+  k.user_zipf_s = 1.20;
+  k.burst_probability = 0.55;      // high resubmission rate of recurring jobs
+  return k;
+}
+
 namespace {
 constexpr std::int64_t kWarmupDays = 35;
 }
@@ -197,6 +218,19 @@ GeneratorConfig GeneratorConfig::philly(std::uint64_t seed, double scale) {
   c.end = philly_trace_end();
   c.scale = scale;
   c.seed = seed ^ fnv1a("Philly");
+  return c;
+}
+
+GeneratorConfig GeneratorConfig::pai(std::uint64_t seed, double scale) {
+  GeneratorConfig c;
+  c.cluster = scale_cluster(pai_cluster(), scale);
+  c.knobs = pai_knobs();
+  // Helios window: PAI cells of a sweep line up in time with Helios cells.
+  c.window_begin = helios_trace_begin();
+  c.begin = c.window_begin - kWarmupDays * kSecondsPerDay;
+  c.end = helios_trace_end();
+  c.scale = scale;
+  c.seed = seed ^ fnv1a("PAI");
   return c;
 }
 
@@ -454,7 +488,7 @@ Trace SyntheticTraceGenerator::generate() {
           // Feedback-driven exploration: a submission event is a burst of
           // 1..5 near-simultaneous configurations of the same template.
           int burst = 1;
-          if (!tpl.debug && rng.bernoulli(0.35)) {
+          if (!tpl.debug && rng.bernoulli(knobs_copy.burst_probability)) {
             burst = 2 + static_cast<int>(rng.uniform_index(4));
           }
           UnixTime submit = sample_submit(days, day_single, day_multi,
@@ -667,6 +701,10 @@ std::vector<Trace> generate_helios(std::uint64_t seed, double scale) {
 
 Trace generate_philly(std::uint64_t seed, double scale) {
   return SyntheticTraceGenerator(GeneratorConfig::philly(seed, scale)).generate();
+}
+
+Trace generate_pai(std::uint64_t seed, double scale) {
+  return SyntheticTraceGenerator(GeneratorConfig::pai(seed, scale)).generate();
 }
 
 }  // namespace helios::trace

@@ -68,10 +68,21 @@ struct ClusterWorkloadKnobs {
   double base_completion = 0.68;
   /// Zipf exponent of user activity (GPU jobs).
   double user_zipf_s = 1.05;
+  /// Probability that a non-debug submission is a burst of 2-5 near-
+  /// simultaneous configurations of the same template (hyper-parameter
+  /// exploration). PAI's recurring short jobs resubmit far more often.
+  double burst_probability = 0.35;
 };
 
 [[nodiscard]] ClusterWorkloadKnobs helios_knobs(const std::string& cluster_name);
 [[nodiscard]] ClusterWorkloadKnobs philly_knobs();
+
+/// Workload family calibrated to the Alibaba-PAI characterization (Wang et
+/// al., arXiv:1910.05930): short recurring jobs (minutes-scale medians, high
+/// resubmission/burst rate), a much heavier CPU component (most jobs request
+/// no GPU, and CPU jobs are real preprocessing/training work rather than
+/// state queries), and a size mix concentrated on 1-2 GPUs.
+[[nodiscard]] ClusterWorkloadKnobs pai_knobs();
 
 struct GeneratorConfig {
   ClusterSpec cluster;
@@ -95,6 +106,10 @@ struct GeneratorConfig {
   static GeneratorConfig helios(const ClusterSpec& cluster, std::uint64_t seed,
                                 double scale);
   static GeneratorConfig philly(std::uint64_t seed, double scale);
+  /// The Alibaba-PAI workload family on trace::pai_cluster(), generated over
+  /// the Helios window so PAI cells line up in time with Helios cells in a
+  /// scenario sweep.
+  static GeneratorConfig pai(std::uint64_t seed, double scale);
 };
 
 class SyntheticTraceGenerator {
@@ -117,5 +132,8 @@ class SyntheticTraceGenerator {
 
 /// The Philly comparison trace.
 [[nodiscard]] Trace generate_philly(std::uint64_t seed, double scale);
+
+/// The Alibaba-PAI comparison trace (pai_knobs on pai_cluster).
+[[nodiscard]] Trace generate_pai(std::uint64_t seed, double scale);
 
 }  // namespace helios::trace
