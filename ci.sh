@@ -7,8 +7,9 @@
 #                      --benchmark_min_time so perf regressions fail loudly
 #                      instead of silently; binaries are built -O2 -DNDEBUG);
 #                      also runs the serve replay driver (writes
-#                      build/BENCH_svc.json) and the scenario sweep matrix
-#                      (writes build/BENCH_sweep.json)
+#                      build/BENCH_svc.json), the scenario sweep matrix
+#                      (writes build/BENCH_sweep.json), and the energy-vs-JCT
+#                      power ablation (writes build/BENCH_power.json)
 #   ./ci.sh sweep      full build + parity-gated scenario sweep at small
 #                      scale: sweep_matrix runs a 2-cluster x 4-policy x
 #                      2-seed grid through sweep::ScenarioEngine twice
@@ -158,6 +159,12 @@ if [ "$mode" = bench ]; then
   HELIOS_SWEEP_SCALE="${HELIOS_SWEEP_SCALE:-0.05}" \
   HELIOS_SWEEP_OUT=build/BENCH_sweep.json \
     build/sweep_matrix
+  # Energy-vs-JCT power ablation: gated (capped admission must cut modeled
+  # energy, parallel power grid must match serial bit-for-bit), and the
+  # source of BENCH_power.json (the tradeoff table).
+  HELIOS_POWER_SCALE="${HELIOS_POWER_SCALE:-0.05}" \
+  HELIOS_POWER_OUT=build/BENCH_power.json \
+    build/ablation_power
   exit 0
 fi
 

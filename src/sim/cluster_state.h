@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/power_model.h"
 #include "trace/cluster_config.h"
 
 namespace helios::sim {
@@ -156,6 +157,22 @@ class ClusterState {
     return node_count() - sleeping_count_ - failed_count_;
   }
   [[nodiscard]] int sleeping_nodes() const noexcept { return sleeping_count_; }
+  [[nodiscard]] int booting_nodes() const noexcept {
+    return static_cast<int>(boot_queue_.size());
+  }
+
+  /// Baseline draw of the whole state under `profile`: every node billed by
+  /// its power state, excluding the per-GPU draw of running jobs (the
+  /// simulator tracks that per run, since it varies per job). O(1) — derived
+  /// from the maintained power-state counters.
+  [[nodiscard]] double baseline_watts(
+      const core::PowerProfile& profile) const noexcept {
+    const int booting = booting_nodes();
+    const int active =
+        node_count() - sleeping_count_ - failed_count_ - booting;
+    return profile.baseline_watts(active, booting, sleeping_count_,
+                                  failed_count_);
+  }
 
   /// -- power control (used by the CES service) ---------------------------
   /// Put up to `count` idle active nodes of the cluster to sleep, in node

@@ -26,14 +26,19 @@ std::string_view to_string(SchedulerPolicy p) noexcept {
       return "SRTF";
     case SchedulerPolicy::kQssf:
       return "QSSF";
+    case SchedulerPolicy::kPowerCap:
+      return "POWERCAP";
+    case SchedulerPolicy::kEnergyQssf:
+      return "EQSSF";
   }
   return "?";
 }
 
 std::span<const SchedulerPolicy> all_policies() noexcept {
   static constexpr SchedulerPolicy kAll[] = {
-      SchedulerPolicy::kFifo, SchedulerPolicy::kSjf, SchedulerPolicy::kSrtf,
-      SchedulerPolicy::kQssf};
+      SchedulerPolicy::kFifo,     SchedulerPolicy::kSjf,
+      SchedulerPolicy::kSrtf,     SchedulerPolicy::kQssf,
+      SchedulerPolicy::kPowerCap, SchedulerPolicy::kEnergyQssf};
   return kAll;
 }
 
@@ -117,15 +122,52 @@ SimResult ClusterSimulator::run(const Trace& t) const {
     parallel_run_tasks(std::move(tasks));
   }
 
-  // Deterministic merge in VC order. Every segment term is an exact integer
-  // product of a count and a duration (see BucketIntegrator), so the merged
-  // series equals a serial accumulation bit-for-bit.
+  // Deterministic merge in VC order. Every busy-segment term is an exact
+  // integer product of a count and a duration (see BucketIntegrator), so the
+  // merged series equals a serial accumulation bit-for-bit. The power terms
+  // may carry non-integer watts (gpu_watts_fn, cap shares), but this loop
+  // runs serially in VC order under BOTH exec modes, so the accumulation
+  // order — and with it every double — is identical for kSerial/kParallel.
+  std::vector<int> shard_of(n_vcs, -1);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    shard_of[shard_vc[s]] = static_cast<int>(s);
+  }
   BucketIntegrator nodes_acc(window_begin, window_end, config_.series_step);
   BucketIntegrator gpus_acc(window_begin, window_end, config_.series_step);
-  for (std::size_t s = 0; s < shards.size(); ++s) {
+  BucketIntegrator power_acc(window_begin, window_end, config_.series_step);
+  // (time, ±watts) boundaries of every clamped power interval, gathered in
+  // VC order for the deterministic peak sweep below.
+  struct PowerEdge {
+    UnixTime time = 0;
+    double delta = 0.0;
+  };
+  std::vector<PowerEdge> edges;
+  std::vector<double> vc_energy(n_vcs, 0.0);
+  auto bill = [&](std::size_t vi, UnixTime t0, UnixTime t1, double watts) {
+    t0 = std::max(t0, window_begin);
+    t1 = std::min(t1, window_end);
+    if (t1 <= t0 || watts == 0.0) return;
+    vc_energy[vi] += watts * static_cast<double>(t1 - t0);
+    power_acc.add(t0, t1, watts);
+    edges.push_back({t0, watts});
+    edges.push_back({t1, -watts});
+  };
+  for (std::size_t vi = 0; vi < n_vcs; ++vi) {
+    if (shard_of[vi] < 0) {
+      // No GPU jobs -> no shard, but the VC's nodes still idle all window.
+      // (Fault events on a workload-free VC are skipped with the shard, so
+      // its baseline stays the all-active draw — consistent with the fault
+      // replay only existing where a shard runs.)
+      const auto& vcspec = spec_.vcs[vi];
+      bill(vi, window_begin, window_end,
+           config_.power_profile.baseline_watts(vcspec.nodes, 0, 0, 0));
+      continue;
+    }
+    const auto s = static_cast<std::size_t>(shard_of[vi]);
     for (const BusySegment& seg : shards[s].segments()) {
       nodes_acc.add(seg.t0, seg.t1, seg.nodes);
       gpus_acc.add(seg.t0, seg.t1, seg.gpus);
+      bill(vi, seg.t0, seg.t1, seg.watts);
     }
     result.preemptions += counters[s].preemptions;
     result.rejected_jobs += counters[s].rejected;
@@ -134,6 +176,45 @@ SimResult ClusterSimulator::run(const Trace& t) const {
   }
   result.busy_nodes = nodes_acc.mean_series();
   result.busy_gpus = gpus_acc.mean_series();
+  result.power_watts = power_acc.mean_series();
+  for (std::size_t vi = 0; vi < n_vcs; ++vi) {
+    result.energy_joules += vc_energy[vi];
+  }
+
+  // Peak-power series: sweep the interval boundaries in time order. The
+  // stable sort keeps equal-time edges in their VC-order insertion order, so
+  // the running sum visits identical partial sums on every run and the peaks
+  // are bit-deterministic.
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const PowerEdge& a, const PowerEdge& b) {
+                     return a.time < b.time;
+                   });
+  result.peak_power_watts.begin = window_begin;
+  result.peak_power_watts.step = config_.series_step;
+  result.peak_power_watts.values.assign(power_acc.bucket_count(), 0.0);
+  {
+    auto& peak = result.peak_power_watts.values;
+    double cur = 0.0;
+    std::size_t b = 0;
+    for (std::size_t i = 0; i < edges.size();) {
+      const UnixTime t = edges[i].time;
+      while (b + 1 < peak.size() &&
+             t >= window_begin +
+                      static_cast<UnixTime>(b + 1) * config_.series_step) {
+        ++b;
+        peak[b] = std::max(peak[b], cur);  // draw carries across the boundary
+      }
+      // Apply every edge of this instant before sampling: a segment ending
+      // and another starting at the same second must not momentarily stack.
+      for (; i < edges.size() && edges[i].time == t; ++i) {
+        cur += edges[i].delta;
+      }
+      peak[b] = std::max(peak[b], cur);
+    }
+    for (double v : peak) {
+      result.max_power_watts = std::max(result.max_power_watts, v);
+    }
+  }
 
   // ---- metrics ----------------------------------------------------------
   // Only means and counts are reported; plain integer sums are exact (JCTs
@@ -187,6 +268,7 @@ SimResult ClusterSimulator::run(const Trace& t) const {
     s.jobs = vc_jct[vi].count;
     s.avg_queue_delay = vc_delay[vi].mean();
     s.avg_jct = vc_jct[vi].mean();
+    s.energy_joules = vc_energy[vi];
     result.vc_stats.push_back(std::move(s));
   }
   return result;

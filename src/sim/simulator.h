@@ -2,12 +2,29 @@
 //
 // Reproduces the evaluation methodology of §4.2.3: jobs flow through
 // arrival -> per-VC queue -> gang placement -> completion, with no backfill
-// and no cross-VC sharing. Four policies:
+// and no cross-VC sharing. Six policies:
 //   * kFifo — submission order (the paper's production baseline),
 //   * kSjf  — oracle shortest-job-first, non-preemptive,
 //   * kSrtf — oracle shortest-remaining-time-first with free preemption,
 //   * kQssf — Quasi-Shortest-Service-First: jobs ordered by *predicted* GPU
-//             time supplied by a PriorityFn (see core/qssf_service.h).
+//             time supplied by a PriorityFn (see core/qssf_service.h),
+//   * kPowerCap    — FIFO order with budget-constrained admission: the head
+//                    waits while its projected power draw would push the VC
+//                    over its share of SimConfig::power_cap_watts,
+//   * kEnergyQssf  — energy-aware QSSF: jobs ordered by *predicted energy*
+//                    (predicted GPU time × the job's per-GPU draw), so
+//                    cheap-to-run jobs clear the queue first.
+//
+// Energy accounting is always on: every run carries a core::PowerProfile
+// (idle/boot/sleep/failed node watts + per-GPU draw, overridable per job via
+// SimConfig::gpu_watts_fn) and SimResult reports cumulative energy, mean and
+// per-bucket-peak power series, and per-VC energy. Setting
+// SimConfig::power_cap_watts > 0 additionally turns on budget-constrained
+// admission for *every* policy — no placement (head start, SRTF
+// preemption-start, or backfill) may exceed the VC's capacity-proportional
+// share of the cap; backfill under a cap is power-proportional: candidates
+// start only while the projected draw stays under the cap.
+//
 // Only GPU jobs are simulated; the paper does the same ("GPU resources are
 // the bottleneck in our clusters").
 #pragma once
@@ -18,6 +35,7 @@
 #include <vector>
 
 #include "common/exec_mode.h"
+#include "core/power_model.h"
 #include "forecast/series.h"
 #include "sim/cluster_state.h"
 #include "sim/fault_plan.h"
@@ -25,22 +43,35 @@
 
 namespace helios::sim {
 
-enum class SchedulerPolicy { kFifo, kSjf, kSrtf, kQssf };
+enum class SchedulerPolicy {
+  kFifo,
+  kSjf,
+  kSrtf,
+  kQssf,
+  kPowerCap,    ///< FIFO order + budget-constrained power admission
+  kEnergyQssf,  ///< QSSF ordered by predicted energy (GPU time × watts)
+};
 
 [[nodiscard]] std::string_view to_string(SchedulerPolicy p) noexcept;
 
-/// All four policies in declaration order — the policy axis a scenario sweep
+/// All six policies in declaration order — the policy axis a scenario sweep
 /// iterates (sweep/scenario.h).
 [[nodiscard]] std::span<const SchedulerPolicy> all_policies() noexcept;
 
-/// Parse "FIFO" / "SJF" / "SRTF" / "QSSF" (case-insensitive). Throws
-/// std::invalid_argument on anything else.
+/// Parse "FIFO" / "SJF" / "SRTF" / "QSSF" / "POWERCAP" / "EQSSF"
+/// (case-insensitive). Throws std::invalid_argument on anything else.
 [[nodiscard]] SchedulerPolicy policy_from_string(std::string_view name);
 
-/// Priority for kQssf: expected GPU time of the job; lower runs first.
-/// Called concurrently from VC shards under common::ExecMode::kParallel, so
-/// it must be thread-safe (pure functions and const lookups are).
+/// Priority for kQssf/kEnergyQssf: expected GPU time of the job; lower runs
+/// first (kEnergyQssf multiplies it by the job's per-GPU draw). Called
+/// concurrently from VC shards under common::ExecMode::kParallel, so it must
+/// be thread-safe (pure functions and const lookups are).
 using PriorityFn = std::function<double(const trace::JobRecord&)>;
+
+/// Per-GPU draw (watts) of one job while running; overrides
+/// core::PowerProfile::gpu_watts when set. Same thread-safety contract as
+/// PriorityFn.
+using GpuWattsFn = std::function<double(const trace::JobRecord&)>;
 
 struct SimConfig {
   SchedulerPolicy policy = SchedulerPolicy::kFifo;
@@ -76,6 +107,20 @@ struct SimConfig {
   /// healthy nodes and predicted-bad ones idle. Empty (or a size mismatch
   /// with the VC's node count) = node-id order.
   std::vector<std::vector<std::int32_t>> node_order;
+  /// Node/GPU draw for the energy accounting. Integer-valued watts keep the
+  /// energy sums exact (order-independent; see bucket_integrator.h).
+  core::PowerProfile power_profile;
+  /// Per-job per-GPU draw override; unset = power_profile.gpu_watts for
+  /// every job.
+  GpuWattsFn gpu_watts_fn;
+  /// Cluster power cap in watts; <= 0 disables budget-constrained admission.
+  /// VCs are simulated independently, so the cap is enforced per VC as a
+  /// capacity-proportional share (cap × VC GPUs / cluster GPUs): no VC ever
+  /// exceeds its share, hence the cluster never exceeds the cap. With the
+  /// cap set, every policy's placements are power-gated and backfill becomes
+  /// power-proportional (kPowerCap is FIFO ordering with this gate as its
+  /// defining behaviour).
+  double power_cap_watts = 0.0;
 };
 
 struct JobOutcome {
@@ -100,6 +145,10 @@ struct VCStat {
   std::int64_t jobs = 0;
   double avg_queue_delay = 0.0;
   double avg_jct = 0.0;
+  /// Energy drawn by this VC's nodes and jobs inside the series window,
+  /// in joules. VCs with no GPU jobs still bill their idle baseline, so the
+  /// per-VC energies sum exactly to SimResult::energy_joules.
+  double energy_joules = 0.0;
 };
 
 struct SimResult {
@@ -120,6 +169,16 @@ struct SimResult {
   std::vector<VCStat> vc_stats;          ///< by cluster-spec VC index
   forecast::TimeSeries busy_nodes;       ///< mean busy nodes per bucket
   forecast::TimeSeries busy_gpus;       ///< mean busy GPUs per bucket
+  /// -- energy accounting (SimConfig::power_profile / gpu_watts_fn) --------
+  /// Cumulative cluster energy over the series window, joules. Exact sum of
+  /// watts × seconds terms in VC order (integer-valued with the default
+  /// profile), clamped to [window begin, window end) like the series.
+  double energy_joules = 0.0;
+  /// Highest instantaneous cluster draw inside the window (== the max of
+  /// peak_power_watts' buckets).
+  double max_power_watts = 0.0;
+  forecast::TimeSeries power_watts;       ///< mean cluster draw per bucket
+  forecast::TimeSeries peak_power_watts;  ///< peak cluster draw per bucket
 };
 
 /// Trace-driven simulator over all VCs of a cluster. VCs are dedicated and

@@ -39,6 +39,7 @@ struct LocalJob {
   std::size_t trace_index = 0;
   std::int32_t gpus = 0;
   double priority = 0.0;
+  double watts = 0.0;  ///< total draw while running: gpus × per-GPU watts
 };
 
 struct RunningJob {
@@ -46,6 +47,7 @@ struct RunningJob {
   Allocation alloc;
   std::int64_t run_start = 0;
   std::int64_t remaining = 0;  ///< at run_start
+  double watts = 0.0;  ///< draw added at start; subtracted verbatim on stop
   std::uint64_t generation = 0;
   bool active = false;
 };
@@ -134,7 +136,8 @@ class OrderedBitmap {
 class PolicyQueue {
  public:
   PolicyQueue(SchedulerPolicy policy, bool backfill)
-      : backend_(policy == SchedulerPolicy::kFifo
+      : backend_(policy == SchedulerPolicy::kFifo ||
+                         policy == SchedulerPolicy::kPowerCap
                      ? Backend::kBitmap
                      : (backfill ? Backend::kSet : Backend::kHeap)) {}
 
@@ -325,6 +328,23 @@ VcSimulator::VcSimulator(const trace::ClusterSpec& spec, int vc,
     : config_(&config),
       window_begin_(window_begin),
       state_(single_vc_spec(spec, vc)) {
+  if (config.power_cap_watts > 0.0) {
+    // Budget-constrained admission: VCs never talk to each other, so the
+    // cluster cap splits into capacity-proportional per-VC shares. The
+    // shares sum to the cap, so per-VC enforcement implies the cluster-wide
+    // bound.
+    std::int64_t total_gpus = 0;
+    for (const auto& v : spec.vcs) {
+      total_gpus += static_cast<std::int64_t>(v.nodes) * v.gpus_per_node;
+    }
+    const auto& vcspec = spec.vcs[static_cast<std::size_t>(vc)];
+    const auto vc_gpus =
+        static_cast<std::int64_t>(vcspec.nodes) * vcspec.gpus_per_node;
+    if (total_gpus > 0) {
+      cap_share_ = config.power_cap_watts * static_cast<double>(vc_gpus) /
+                   static_cast<double>(total_gpus);
+    }
+  }
   if (config.fault_plan == nullptr) return;
   const auto events = config.fault_plan->vc_events(vc);
   if (events.empty()) return;
@@ -364,12 +384,22 @@ VcSimulator::Counters VcSimulator::run(const Trace& t,
                                        std::vector<JobOutcome>& outcomes) {
   Counters counters;
   const bool srtf = config_->policy == SchedulerPolicy::kSrtf;
-  const bool fifo = config_->policy == SchedulerPolicy::kFifo;
+  // FIFO-order policies: arrivals behind a blocked head can never outrank it.
+  const bool fifo = config_->policy == SchedulerPolicy::kFifo ||
+                    config_->policy == SchedulerPolicy::kPowerCap;
   const std::size_t n = arrivals.size();
 
-  auto base_priority = [&](const JobRecord& j) -> double {
+  // `per_gpu_watts` is the job's running draw per GPU; `base_priority` folds
+  // it into kEnergyQssf's predicted-energy ordering (predicted GPU time ×
+  // per-GPU watts = predicted joules).
+  auto per_gpu_watts = [&](const JobRecord& j) -> double {
+    return config_->gpu_watts_fn ? config_->gpu_watts_fn(j)
+                                 : config_->power_profile.gpu_watts;
+  };
+  auto base_priority = [&](const JobRecord& j, double gpu_watts) -> double {
     switch (config_->policy) {
       case SchedulerPolicy::kFifo:
+      case SchedulerPolicy::kPowerCap:
         return 0.0;  // submit-time tie-break gives FIFO order
       case SchedulerPolicy::kSjf:
       case SchedulerPolicy::kSrtf:
@@ -377,6 +407,11 @@ VcSimulator::Counters VcSimulator::run(const Trace& t,
       case SchedulerPolicy::kQssf:
         return config_->priority_fn ? config_->priority_fn(j)
                                     : static_cast<double>(j.duration) * j.num_gpus;
+      case SchedulerPolicy::kEnergyQssf:
+        return (config_->priority_fn
+                    ? config_->priority_fn(j)
+                    : static_cast<double>(j.duration) * j.num_gpus) *
+               gpu_watts;
     }
     return 0.0;
   };
@@ -392,7 +427,9 @@ VcSimulator::Counters VcSimulator::run(const Trace& t,
     job.remaining = job.total;
     job.trace_index = o.trace_index;
     job.gpus = o.gpus;
-    job.priority = base_priority(j);
+    const double gw = per_gpu_watts(j);
+    job.watts = gw * j.num_gpus;
+    job.priority = base_priority(j, gw);
   }
   std::vector<std::size_t> run_slot(n, SIZE_MAX);
 
@@ -416,22 +453,43 @@ VcSimulator::Counters VcSimulator::run(const Trace& t,
   std::vector<std::size_t> active_pos;  // per-slot position, SIZE_MAX if idle
   active_pos.reserve(n);
 
-  // Busy accounting: coalesce events that leave the busy counters unchanged
-  // into one segment; flushed whenever the counts move.
+  // Busy/power accounting: coalesce events that leave the busy counters and
+  // the VC draw unchanged into one segment; flushed whenever either moves.
+  // Power includes the idle node baseline, so unlike the pre-energy
+  // accounting the idle stretches produce segments too (the busy
+  // integrators ignore their zero counts).
+  run_watts_ = 0.0;
   segments_.reserve(2 * n + 2);
   std::int64_t seg_start = window_begin_;
   std::int32_t seg_nodes = 0;
   std::int32_t seg_gpus = 0;
+  double seg_watts = state_.baseline_watts(config_->power_profile);
   auto flush_segment = [&](std::int64_t now) {
     const auto bn = static_cast<std::int32_t>(state_.busy_nodes());
     const auto bg = static_cast<std::int32_t>(state_.busy_gpus());
-    if (bn == seg_nodes && bg == seg_gpus) return;
-    if (now > seg_start && (seg_nodes != 0 || seg_gpus != 0)) {
-      segments_.push_back({seg_start, now, seg_nodes, seg_gpus});
+    const double bw =
+        state_.baseline_watts(config_->power_profile) + run_watts_;
+    if (bn == seg_nodes && bg == seg_gpus && bw == seg_watts) return;
+    if (now > seg_start &&
+        (seg_nodes != 0 || seg_gpus != 0 || seg_watts != 0.0)) {
+      segments_.push_back({seg_start, now, seg_nodes, seg_gpus, seg_watts});
     }
     seg_start = now;
     seg_nodes = bn;
     seg_gpus = bg;
+    seg_watts = bw;
+  };
+
+  // Budget-constrained admission: may the projected VC draw grow by
+  // `extra_watts` without crossing this VC's share of the cluster cap?
+  // Power changes only on starts, completions, kills, and node power-state
+  // transitions — the exact events that already invalidate the blocked-head
+  // memo, so the memo argument is unchanged by this gate.
+  auto power_allows = [&](double extra_watts) -> bool {
+    if (cap_share_ <= 0.0) return true;
+    return state_.baseline_watts(config_->power_profile) + run_watts_ +
+               extra_watts <=
+           cap_share_;
   };
 
   auto deactivate = [&](std::size_t slot) {
@@ -461,6 +519,8 @@ VcSimulator::Counters VcSimulator::run(const Trace& t,
     r.alloc = std::move(alloc);
     r.run_start = now;
     r.remaining = jobs[lj].remaining;
+    r.watts = jobs[lj].watts;
+    run_watts_ += r.watts;
     r.active = true;
     std::size_t slot;
     if (run_slot[lj] != SIZE_MAX && !runs[run_slot[lj]].active) {
@@ -500,6 +560,7 @@ VcSimulator::Counters VcSimulator::run(const Trace& t,
       ++r.generation;  // invalidates the pending finish event
       deactivate(s);
       state_.release(r.alloc);
+      run_watts_ -= r.watts;
       const std::size_t plj = r.local;
       jobs[plj].remaining =
           config_->restart == FaultRestart::kResume
@@ -540,8 +601,15 @@ VcSimulator::Counters VcSimulator::run(const Trace& t,
         dequeue(lj);
         continue;
       }
-      auto alloc = state_.try_allocate(0, job.gpus);
-      if (!alloc && srtf) {
+      // Budget-constrained admission: a head over the power budget waits
+      // exactly like a head that does not fit — it neither places nor hunts
+      // for SRTF preemption victims (preempting to make power headroom would
+      // trade running work for queued work under the same cap; the gate is
+      // checked up front so a power-blocked head leaves the run set alone).
+      const bool power_ok = power_allows(job.watts);
+      auto alloc =
+          power_ok ? state_.try_allocate(0, job.gpus) : std::optional<Allocation>{};
+      if (!alloc && srtf && power_ok) {
         // Preempt running jobs with strictly larger remaining time, largest
         // first, until the head fits; roll back if it never does.
         const std::int64_t head_rem = job.remaining;
@@ -571,6 +639,7 @@ VcSimulator::Counters VcSimulator::run(const Trace& t,
             r.active = false;
             ++r.generation;  // invalidates the pending finish event
             deactivate(s);
+            run_watts_ -= r.watts;
             const std::size_t plj = r.local;
             jobs[plj].remaining =
                 std::max<std::int64_t>(1, r.remaining - (now - r.run_start));
@@ -592,6 +661,10 @@ VcSimulator::Counters VcSimulator::run(const Trace& t,
           queue.scan_behind_head([&](std::size_t blj) {
             if (scanned >= config_->backfill_depth) return false;
             ++scanned;
+            // Power-proportional backfill: candidates start only while the
+            // projected draw stays under the cap; over-budget candidates are
+            // skipped, not blocking the ones behind them.
+            if (!power_allows(jobs[blj].watts)) return true;
             auto balloc = state_.try_allocate(0, jobs[blj].gpus);
             if (balloc) {
               start_job(blj, std::move(*balloc), now);
@@ -655,6 +728,7 @@ VcSimulator::Counters VcSimulator::run(const Trace& t,
       ++r.generation;
       deactivate(f.slot);
       state_.release(r.alloc);
+      run_watts_ -= r.watts;
       outcomes[arrivals[r.local]].end = now;
       need_schedule = true;  // freed GPUs invalidate the blocked-head memo
     }
@@ -695,12 +769,14 @@ VcSimulator::Counters VcSimulator::run(const Trace& t,
     if (need_schedule) schedule(now);
     flush_segment(now);
   }
-  // Close the trailing segment (busy counts are zero once every started job
-  // has finished, so this only fires for pathological inputs).
-  if (seg_nodes != 0 || seg_gpus != 0) {
+  // Close the trailing segment. Busy counts are zero once every started job
+  // has finished, but the idle baseline keeps drawing, so the tail almost
+  // always carries watts: it runs to the sentinel and the orchestrator's
+  // integrator clamps it to the series window.
+  if (seg_nodes != 0 || seg_gpus != 0 || seg_watts != 0.0) {
     segments_.push_back(
         {seg_start, std::numeric_limits<std::int64_t>::max(), seg_nodes,
-         seg_gpus});
+         seg_gpus, seg_watts});
   }
   return counters;
 }

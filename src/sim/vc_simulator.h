@@ -30,15 +30,17 @@
 
 namespace helios::sim {
 
-/// A maximal interval over which a VC's busy-node/GPU counts are constant.
-/// Shards log these; the orchestrator integrates them into the cluster-wide
-/// series after the parallel phase (intervals may overhang the bucket
-/// window; the integrator clamps).
+/// A maximal interval over which a VC's busy-node/GPU counts and power draw
+/// are constant. Shards log these; the orchestrator integrates them into the
+/// cluster-wide series after the parallel phase (intervals may overhang the
+/// bucket window; the integrator clamps). Unlike the busy counts, `watts`
+/// includes the idle baseline, so segments cover idle stretches too.
 struct BusySegment {
   std::int64_t t0 = 0;
   std::int64_t t1 = 0;
   std::int32_t nodes = 0;
   std::int32_t gpus = 0;
+  double watts = 0.0;  ///< VC draw: node baseline + per-GPU draw of its runs
 };
 
 class VcSimulator {
@@ -77,6 +79,11 @@ class VcSimulator {
   const SimConfig* config_;
   UnixTime window_begin_;
   ClusterState state_;
+  /// This VC's capacity-proportional share of SimConfig::power_cap_watts;
+  /// <= 0 when admission is uncapped.
+  double cap_share_ = 0.0;
+  /// Sum of the per-GPU draws of the currently active runs.
+  double run_watts_ = 0.0;
   std::vector<BusySegment> segments_;
   /// This VC's fault events, time-sorted, with `node` already translated to
   /// the shard's internal node ids (the node_order permutation).

@@ -19,6 +19,7 @@ std::string ScenarioSpec::label() const {
   std::string s = workload.name + "/" + std::string(to_string(policy)) + buf;
   if (backfill) s += " +backfill";
   if (fault.enabled()) s += " faults=" + fault.name;
+  if (power.name != "uncapped") s += " power=" + power.name;
   return s;
 }
 
@@ -34,12 +35,15 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
         for (auto policy : policies) {
           for (bool bf : backfills) {
             for (const auto& fault : faults) {
-              ScenarioSpec s;
-              s.workload = w;
-              s.policy = policy;
-              s.backfill = bf;
-              s.fault = fault;
-              cells.push_back(std::move(s));
+              for (const auto& power : powers) {
+                ScenarioSpec s;
+                s.workload = w;
+                s.policy = policy;
+                s.backfill = bf;
+                s.fault = fault;
+                s.power = power;
+                cells.push_back(std::move(s));
+              }
             }
           }
         }
@@ -51,7 +55,7 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
 
 std::size_t SweepGrid::cell_count() const noexcept {
   return clusters.size() * scales.size() * seeds.size() * policies.size() *
-         backfills.size() * faults.size();
+         backfills.size() * faults.size() * powers.size();
 }
 
 bool results_identical(const sim::SimResult& a,
@@ -78,26 +82,34 @@ bool results_identical(const sim::SimResult& a,
     const sim::VCStat& x = a.vc_stats[v];
     const sim::VCStat& y = b.vc_stats[v];
     if (x.name != y.name || x.gpus != y.gpus || x.jobs != y.jobs ||
-        x.avg_queue_delay != y.avg_queue_delay || x.avg_jct != y.avg_jct) {
+        x.avg_queue_delay != y.avg_queue_delay || x.avg_jct != y.avg_jct ||
+        x.energy_joules != y.energy_joules) {
       return false;
     }
+  }
+  if (a.energy_joules != b.energy_joules ||
+      a.max_power_watts != b.max_power_watts) {
+    return false;
   }
   auto series_identical = [](const forecast::TimeSeries& s,
                              const forecast::TimeSeries& t) {
     return s.begin == t.begin && s.step == t.step && s.values == t.values;
   };
   return series_identical(a.busy_nodes, b.busy_nodes) &&
-         series_identical(a.busy_gpus, b.busy_gpus);
+         series_identical(a.busy_gpus, b.busy_gpus) &&
+         series_identical(a.power_watts, b.power_watts) &&
+         series_identical(a.peak_power_watts, b.peak_power_watts);
 }
 
 namespace {
 
-/// The (scale, backfill, fault) slice a cell reports under; seeds aggregate
-/// within a slice, workloads are columns, policies are rows.
+/// The (scale, backfill, fault, power) slice a cell reports under; seeds
+/// aggregate within a slice, workloads are columns, policies are rows.
 struct SliceKey {
   double scale;
   bool backfill;
   std::string fault;
+  std::string power;
   [[nodiscard]] friend auto operator<=>(const SliceKey&, const SliceKey&) = default;
 };
 
@@ -107,6 +119,7 @@ std::string slice_title(const SliceKey& k) {
   std::string s = buf;
   if (k.backfill) s += ", backfill";
   if (k.fault != "none") s += ", faults=" + k.fault;
+  if (k.power != "uncapped") s += ", power=" + k.power;
   return s;
 }
 
@@ -121,7 +134,7 @@ std::string comparison_report(const SweepResult& sweep) {
   std::vector<std::string> policy_order;
   for (const CellResult& c : sweep.cells) {
     const SliceKey key{c.spec.workload.key.scale, c.spec.backfill,
-                       c.spec.fault.name};
+                       c.spec.fault.name, c.spec.power.name};
     const std::string policy{to_string(c.spec.policy)};
     slices[key][{policy, c.spec.workload.name}].push_back(&c.result);
     if (std::find(workload_order.begin(), workload_order.end(),
@@ -149,6 +162,8 @@ std::string comparison_report(const SweepResult& sweep) {
          return static_cast<double>(r.queued_jobs);
        },
        0},
+      {"Energy (kWh)",
+       [](const sim::SimResult& r) { return r.energy_joules / 3.6e6; }, 1},
   };
 
   std::string out;

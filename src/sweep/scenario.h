@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/power_model.h"
 #include "sim/fault_plan.h"
 #include "sim/simulator.h"
 #include "sweep/trace_store.h"
@@ -37,6 +38,19 @@ struct FaultSpec {
   [[nodiscard]] bool enabled() const noexcept { return mtbf_days > 0.0; }
 };
 
+/// Declarative power axis of a grid cell: the node/GPU draw profile the
+/// cell's energy accounting runs under plus an optional cluster power cap
+/// (budget-constrained admission; sim/simulator.h). The default is the
+/// uncapped default profile, so grids that never mention power behave — and
+/// count cells — exactly as before.
+struct PowerSpec {
+  std::string name = "uncapped";  ///< display label for reports
+  double cap_watts = 0.0;         ///< <= 0 disables budget-constrained admission
+  core::PowerProfile profile;
+
+  [[nodiscard]] bool capped() const noexcept { return cap_watts > 0.0; }
+};
+
 /// One workload of a sweep: a display name plus the TraceStore key that
 /// materializes it.
 struct WorkloadSpec {
@@ -44,21 +58,23 @@ struct WorkloadSpec {
   TraceKey key;
 };
 
-/// One cell of the grid: workload × policy × backfill × fault.
+/// One cell of the grid: workload × policy × backfill × fault × power.
 struct ScenarioSpec {
   WorkloadSpec workload;
   sim::SchedulerPolicy policy = sim::SchedulerPolicy::kFifo;
   bool backfill = false;
   FaultSpec fault;
+  PowerSpec power;
 
-  /// "Venus/FIFO seed=42 scale=0.05 [+backfill] [faults=<name>]".
+  /// "Venus/FIFO seed=42 scale=0.05 [+backfill] [faults=<name>]
+  /// [power=<name>]".
   [[nodiscard]] std::string label() const;
 };
 
 /// The declarative grid. expand() crosses the axes in a fixed nesting order
-/// (cluster, scale, seed, policy, backfill, fault — outermost first), so the
-/// cell list, its indices, and therefore every preassigned result slot are a
-/// pure function of the grid.
+/// (cluster, scale, seed, policy, backfill, fault, power — outermost first),
+/// so the cell list, its indices, and therefore every preassigned result slot
+/// are a pure function of the grid.
 struct SweepGrid {
   /// Workload names resolvable by TraceKey::workload(): the four Helios
   /// cluster names, "Philly", "PAI".
@@ -68,6 +84,7 @@ struct SweepGrid {
   std::vector<double> scales{0.25};
   std::vector<std::uint64_t> seeds{42};
   std::vector<FaultSpec> faults{FaultSpec{}};
+  std::vector<PowerSpec> powers{PowerSpec{}};
   /// Replay FIFO-operated traces instead of raw ones.
   bool operated = false;
 
@@ -91,15 +108,17 @@ struct SweepResult {
 };
 
 /// Exact (bitwise, not approximate) equality of two simulation results —
-/// outcomes, counters, per-VC stats, and busy series. The parity gates of the
-/// sweep drivers and tests compare through this.
+/// outcomes, counters, per-VC stats (energy included), busy series, and the
+/// energy/power outputs (cumulative joules, max watts, mean and peak power
+/// series). The parity gates of the sweep drivers and tests compare through
+/// this.
 [[nodiscard]] bool results_identical(const sim::SimResult& a,
                                      const sim::SimResult& b) noexcept;
 
 /// Consolidated cross-cluster comparison report: for each (scale, backfill,
-/// fault) slice, one TextTable per metric (avg JCT, avg queue delay, queued
-/// jobs) with policies as rows and workloads as columns; multi-seed cells
-/// aggregate as the median across seeds.
+/// fault, power) slice, one TextTable per metric (avg JCT, avg queue delay,
+/// queued jobs, energy in kWh) with policies as rows and workloads as
+/// columns; multi-seed cells aggregate as the median across seeds.
 [[nodiscard]] std::string comparison_report(const SweepResult& sweep);
 
 }  // namespace helios::sweep

@@ -69,10 +69,13 @@ sim::SimConfig ScenarioEngine::cell_config(const ScenarioSpec& spec,
   cfg.series_step = config_.series_step;
   cfg.execution = config_.execution;
   cfg.restart = spec.fault.restart;
-  if (spec.policy == sim::SchedulerPolicy::kQssf) {
+  cfg.power_profile = spec.power.profile;
+  cfg.power_cap_watts = spec.power.cap_watts;
+  if (spec.policy == sim::SchedulerPolicy::kQssf ||
+      spec.policy == sim::SchedulerPolicy::kEnergyQssf) {
     if (!config_.priority_provider) {
       throw std::invalid_argument(
-          "ScenarioEngine: grid contains a kQssf cell but "
+          "ScenarioEngine: grid contains a kQssf/kEnergyQssf cell but "
           "EngineConfig::priority_provider is unset: " +
           spec.label());
     }

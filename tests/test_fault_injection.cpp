@@ -274,6 +274,46 @@ TEST(Simulator, FailureKillsAndResumeRedoesOnlyRemainingWork) {
   EXPECT_EQ(r.outcomes[0].kills, 1);
 }
 
+TEST(Simulator, EnergyAccountingRoundTripsThroughTheFaultPath) {
+  // Kill/requeue/recover must move the power bookkeeping exactly like the
+  // GPU bookkeeping: the killed run's draw leaves immediately (no node ever
+  // stays "stuck busy"), the failed node bills failed_node_watts (0), and
+  // the requeued run's draw returns on restart. One 8-GPU node, a 1000 s job
+  // at t=0, node down [400, 600); a late 1-GPU job at t=2000 stretches the
+  // series window to [0, 2011) so restart and resume diverge in-window.
+  const auto spec = one_vc_spec(1);
+  const auto t =
+      make_trace(spec, {{0, 1000, 8, "vc0"}, {2000, 10, 1, "vc0"}});
+  const FaultPlan plan = FaultPlan::from_events(
+      spec, 0, 100000, {{{400, 0, false}, {600, 0, true}}});
+  SimConfig cfg;
+  cfg.fault_plan = &plan;
+
+  // Restart: full 1000 s again from t=600.
+  //   [0,400) 3200 W; [400,600) failed, 0 W; [600,1600) 3200 W;
+  //   [1600,2000) idle 800 W; [2000,2010) 1100 W; [2010,2011) 800 W.
+  cfg.restart = FaultRestart::kRestart;
+  const SimResult restart = ClusterSimulator(spec, cfg).run(t);
+  ASSERT_EQ(restart.outcomes[0].end, 1600);
+  EXPECT_EQ(restart.energy_joules, 3200.0 * 400 + 3200.0 * 1000 +
+                                       800.0 * 400 + 1100.0 * 10 + 800.0);
+  EXPECT_EQ(restart.max_power_watts, 3200.0);
+  ASSERT_EQ(restart.vc_stats.size(), 1u);
+  EXPECT_EQ(restart.vc_stats[0].energy_joules, restart.energy_joules);
+  // Bucket [0,600): only the 400 busy seconds draw — the dead node and its
+  // killed run contribute nothing, proving the draw was released with the
+  // kill and not left running.
+  ASSERT_GE(restart.power_watts.values.size(), 1u);
+  EXPECT_EQ(restart.power_watts.values[0], 3200.0 * 400 / 600.0);
+
+  // Resume: only the remaining 600 s re-run, so 400 s less at full draw.
+  cfg.restart = FaultRestart::kResume;
+  const SimResult resume = ClusterSimulator(spec, cfg).run(t);
+  ASSERT_EQ(resume.outcomes[0].end, 1200);
+  EXPECT_EQ(resume.energy_joules, restart.energy_joules - 2400.0 * 400);
+  EXPECT_EQ(resume.max_power_watts, 3200.0);
+}
+
 TEST(Simulator, GangDiesWithAnyOfItsNodes) {
   // 16-GPU gang spans both nodes; killing node 1 releases node 0 too, so the
   // queued 8-GPU job starts immediately on the surviving node.

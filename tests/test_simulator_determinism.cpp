@@ -2,10 +2,12 @@
 //
 // ClusterSimulator runs one VcSimulator per VC, concurrently under
 // common::ExecMode::kParallel. This suite asserts the parallel run's SimResult —
-// outcomes, counters, per-VC stats, and the busy-nodes/GPUs series — is
-// *identical* (exact doubles, not approximately equal) to the retained
-// serial reference (common::ExecMode::kSerial) across all four policies,
-// backfill on/off, and several synthetic-trace seeds.
+// outcomes, counters, per-VC stats, the busy-nodes/GPUs series, and the
+// energy accounting (cumulative joules, per-VC energy, mean/peak power
+// series) — is *identical* (exact doubles, not approximately equal) to the
+// retained serial reference (common::ExecMode::kSerial) across all six
+// policies, backfill on/off, power caps on/off, and several synthetic-trace
+// seeds.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -63,6 +65,25 @@ void expect_identical(const SimResult& serial, const SimResult& sharded) {
     EXPECT_EQ(serial.vc_stats[v].avg_queue_delay,
               sharded.vc_stats[v].avg_queue_delay);
     EXPECT_EQ(serial.vc_stats[v].avg_jct, sharded.vc_stats[v].avg_jct);
+    EXPECT_EQ(serial.vc_stats[v].energy_joules,
+              sharded.vc_stats[v].energy_joules)
+        << "vc " << v;
+  }
+  // Energy accounting: the merge loop is serial in VC order under both exec
+  // modes, so every energy/power double must match bitwise — no tolerance.
+  EXPECT_EQ(serial.energy_joules, sharded.energy_joules);
+  EXPECT_EQ(serial.max_power_watts, sharded.max_power_watts);
+  ASSERT_EQ(serial.power_watts.values.size(), sharded.power_watts.values.size());
+  for (std::size_t i = 0; i < serial.power_watts.values.size(); ++i) {
+    ASSERT_EQ(serial.power_watts.values[i], sharded.power_watts.values[i])
+        << "power_watts bucket " << i;
+  }
+  ASSERT_EQ(serial.peak_power_watts.values.size(),
+            sharded.peak_power_watts.values.size());
+  for (std::size_t i = 0; i < serial.peak_power_watts.values.size(); ++i) {
+    ASSERT_EQ(serial.peak_power_watts.values[i],
+              sharded.peak_power_watts.values[i])
+        << "peak_power_watts bucket " << i;
   }
   // Busy series: bit-identical buckets (integer-exact integration).
   ASSERT_EQ(serial.busy_nodes.begin, sharded.busy_nodes.begin);
@@ -79,9 +100,26 @@ void expect_identical(const SimResult& serial, const SimResult& sharded) {
   }
 }
 
+// A binding-but-not-degenerate cap for `spec`: the all-active idle baseline
+// plus enough headroom to run ~30% of the cluster's GPUs at the default
+// per-GPU draw. Low enough to gate placements under load spikes, high enough
+// that work still flows.
+double binding_cap(const trace::ClusterSpec& spec) {
+  std::int64_t nodes = 0;
+  std::int64_t gpus = 0;
+  for (const auto& vc : spec.vcs) {
+    nodes += vc.nodes;
+    gpus += static_cast<std::int64_t>(vc.nodes) * vc.gpus_per_node;
+  }
+  const core::PowerProfile profile;
+  return profile.idle_node_watts * static_cast<double>(nodes) +
+         profile.gpu_watts * static_cast<double>(gpus) * 0.3;
+}
+
 struct Case {
   SchedulerPolicy policy;
   bool backfill;
+  bool capped;
   std::uint64_t seed;
 };
 
@@ -94,7 +132,9 @@ TEST_P(ShardedDeterminismTest, ShardedMatchesSerialReference) {
   SimConfig cfg;
   cfg.policy = c.policy;
   cfg.backfill = c.backfill;
-  if (c.policy == SchedulerPolicy::kQssf) {
+  if (c.capped) cfg.power_cap_watts = binding_cap(t.cluster());
+  if (c.policy == SchedulerPolicy::kQssf ||
+      c.policy == SchedulerPolicy::kEnergyQssf) {
     cfg.priority_fn = [](const trace::JobRecord& j) {
       return static_cast<double>(j.duration) * j.num_gpus;
     };
@@ -115,23 +155,24 @@ TEST_P(ShardedDeterminismTest, ShardedMatchesSerialReference) {
 
 std::vector<Case> all_cases() {
   std::vector<Case> cases;
-  for (const auto policy :
-       {SchedulerPolicy::kFifo, SchedulerPolicy::kSjf, SchedulerPolicy::kSrtf,
-        SchedulerPolicy::kQssf}) {
+  for (const auto policy : all_policies()) {
     for (const bool backfill : {false, true}) {
-      for (const std::uint64_t seed : {7ull, 19ull}) {
-        cases.push_back({policy, backfill, seed});
+      for (const bool capped : {false, true}) {
+        for (const std::uint64_t seed : {7ull, 19ull}) {
+          cases.push_back({policy, backfill, capped, seed});
+        }
       }
     }
   }
   return cases;
 }
 
-INSTANTIATE_TEST_SUITE_P(AllPoliciesBackfillSeeds, ShardedDeterminismTest,
+INSTANTIATE_TEST_SUITE_P(AllPoliciesBackfillCapsSeeds, ShardedDeterminismTest,
                          ::testing::ValuesIn(all_cases()),
                          [](const auto& info) {
                            return std::string(to_string(info.param.policy)) +
                                   (info.param.backfill ? "Backfill" : "") +
+                                  (info.param.capped ? "Capped" : "") +
                                   "Seed" + std::to_string(info.param.seed);
                          });
 
@@ -158,10 +199,16 @@ TEST_P(FaultShardedDeterminismTest, ShardedMatchesSerialUnderFaults) {
   cfg.policy = c.policy;
   cfg.backfill = c.backfill;
   cfg.restart = c.restart;
-  if (c.policy == SchedulerPolicy::kQssf) {
+  if (c.policy == SchedulerPolicy::kQssf ||
+      c.policy == SchedulerPolicy::kEnergyQssf) {
     cfg.priority_fn = [](const trace::JobRecord& j) {
       return static_cast<double>(j.duration) * j.num_gpus;
     };
+  }
+  // Power-gated admission through the fault path: kills and recoveries move
+  // the baseline and the run draw, so the cap check must stay deterministic.
+  if (c.policy == SchedulerPolicy::kPowerCap) {
+    cfg.power_cap_watts = binding_cap(t.cluster());
   }
   if (c.mtbf_days > 0.0) {
     FaultPlanConfig fp;
@@ -187,17 +234,19 @@ TEST_P(FaultShardedDeterminismTest, ShardedMatchesSerialUnderFaults) {
 
   if (c.mtbf_days > 0.0 && c.mtbf_days <= 30.0) {
     // A churn-level plan over a months-long window must actually exercise
-    // the fault path, or this sweep tests nothing.
+    // the fault path, or this sweep tests nothing. Under the binding power
+    // cap few enough jobs run that failures may only ever hit idle nodes, so
+    // the kill expectation applies to the uncapped policies.
     EXPECT_GT(serial.node_failures, 0);
-    EXPECT_GT(serial.job_kills, 0);
+    if (c.policy != SchedulerPolicy::kPowerCap) {
+      EXPECT_GT(serial.job_kills, 0);
+    }
   }
 }
 
 std::vector<FaultCase> fault_cases() {
   std::vector<FaultCase> cases;
-  for (const auto policy :
-       {SchedulerPolicy::kFifo, SchedulerPolicy::kSjf, SchedulerPolicy::kSrtf,
-        SchedulerPolicy::kQssf}) {
+  for (const auto policy : all_policies()) {
     for (const bool backfill : {false, true}) {
       for (const double mtbf : {30.0, 7.0}) {
         for (const std::uint64_t seed : {7ull, 19ull}) {
@@ -254,6 +303,50 @@ TEST(FaultShardedDeterminism, NodeOrderPermutationStaysDeterministic) {
   cfg.execution = common::ExecMode::kParallel;
   const SimResult sharded = ClusterSimulator(t.cluster(), cfg).run(t);
   expect_identical(serial, sharded);
+}
+
+// With a homogeneous power profile and no faults, SimConfig::node_order only
+// re-labels which physical node a gang lands on — the busy counts, and with
+// them the draw, are label-invariant. The energy outputs must therefore be
+// bit-identical between id-order and any permutation.
+TEST(ShardedDeterminism, NodeOrderPermutationEnergyInvariant) {
+  const Trace& t = venus_trace(7);
+
+  SimConfig cfg;
+  cfg.policy = SchedulerPolicy::kFifo;
+  cfg.backfill = true;
+  const SimResult id_order = ClusterSimulator(t.cluster(), cfg).run(t);
+
+  for (const auto& vc : t.cluster().vcs) {
+    std::vector<std::int32_t> order(static_cast<std::size_t>(vc.nodes));
+    for (int i = 0; i < vc.nodes; ++i) {
+      order[static_cast<std::size_t>(i)] = vc.nodes - 1 - i;
+    }
+    cfg.node_order.push_back(std::move(order));
+  }
+  const SimResult permuted = ClusterSimulator(t.cluster(), cfg).run(t);
+
+  EXPECT_EQ(id_order.energy_joules, permuted.energy_joules);
+  EXPECT_EQ(id_order.max_power_watts, permuted.max_power_watts);
+  ASSERT_EQ(id_order.power_watts.values.size(),
+            permuted.power_watts.values.size());
+  for (std::size_t i = 0; i < id_order.power_watts.values.size(); ++i) {
+    ASSERT_EQ(id_order.power_watts.values[i], permuted.power_watts.values[i])
+        << "power_watts bucket " << i;
+  }
+  ASSERT_EQ(id_order.peak_power_watts.values.size(),
+            permuted.peak_power_watts.values.size());
+  for (std::size_t i = 0; i < id_order.peak_power_watts.values.size(); ++i) {
+    ASSERT_EQ(id_order.peak_power_watts.values[i],
+              permuted.peak_power_watts.values[i])
+        << "peak_power_watts bucket " << i;
+  }
+  ASSERT_EQ(id_order.vc_stats.size(), permuted.vc_stats.size());
+  for (std::size_t v = 0; v < id_order.vc_stats.size(); ++v) {
+    EXPECT_EQ(id_order.vc_stats[v].energy_joules,
+              permuted.vc_stats[v].energy_joules)
+        << "vc " << v;
+  }
 }
 
 // A hand-built multi-VC trace with same-timestamp arrivals and finishes in

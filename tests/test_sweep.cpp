@@ -62,7 +62,8 @@ TEST(ScenarioEngine, GridExpansionIsDeterministic) {
   const SweepGrid grid = small_grid();
   const auto cells = grid.expand();
   EXPECT_EQ(cells.size(), grid.cell_count());
-  EXPECT_EQ(cells.size(), 2u * 2u * 3u * 2u * 2u);  // clusters×seeds×pol×bf×fault
+  // clusters×seeds×pol×bf×fault (×1 default power)
+  EXPECT_EQ(cells.size(), 2u * 2u * 3u * 2u * 2u);
   const auto again = grid.expand();
   ASSERT_EQ(cells.size(), again.size());
   for (std::size_t i = 0; i < cells.size(); ++i) {
@@ -121,6 +122,90 @@ TEST(ScenarioEngine, RepeatRunIsStableAndRegeneratesNothing) {
   expect_cells_identical(first, second);
   EXPECT_EQ(store.generations(), generations_after_first);
   EXPECT_GT(store.hits(), 0u);
+}
+
+// ---- PowerSpec axis --------------------------------------------------------
+
+SweepGrid power_grid() {
+  SweepGrid grid;
+  grid.clusters = {"Venus"};
+  grid.policies = {sim::SchedulerPolicy::kFifo, sim::SchedulerPolicy::kPowerCap,
+                   sim::SchedulerPolicy::kEnergyQssf};
+  grid.backfills = {false, true};
+  grid.scales = {kScale};
+  grid.seeds = {42};
+  PowerSpec capped;
+  capped.name = "cap30";
+  // Idle baseline of every Venus node plus ~30% of the GPUs at full draw.
+  const auto spec = trace::helios_cluster("Venus");
+  std::int64_t nodes = 0;
+  std::int64_t gpus = 0;
+  for (const auto& vc : spec.vcs) {
+    nodes += vc.nodes;
+    gpus += static_cast<std::int64_t>(vc.nodes) * vc.gpus_per_node;
+  }
+  capped.cap_watts = capped.profile.idle_node_watts * static_cast<double>(nodes) +
+                     capped.profile.gpu_watts * static_cast<double>(gpus) * 0.3;
+  grid.powers = {PowerSpec{}, capped};
+  return grid;
+}
+
+TEST(ScenarioEngine, PowerAxisExpandsInnermostAndLabels) {
+  const SweepGrid grid = power_grid();
+  const auto cells = grid.expand();
+  EXPECT_EQ(cells.size(), grid.cell_count());
+  EXPECT_EQ(cells.size(), 1u * 1u * 3u * 2u * 1u * 2u);  // ...×fault×power
+  // Power is the innermost axis: adjacent cells differ only in power.
+  EXPECT_EQ(cells[0].power.name, "uncapped");
+  EXPECT_EQ(cells[1].power.name, "cap30");
+  EXPECT_EQ(cells[0].policy, cells[1].policy);
+  EXPECT_EQ(cells[0].backfill, cells[1].backfill);
+  // Labels carry the power name only when it departs from the default.
+  EXPECT_EQ(cells[0].label().find("power="), std::string::npos);
+  EXPECT_NE(cells[1].label().find("power=cap30"), std::string::npos);
+}
+
+TEST(ScenarioEngine, PowerGridCellsMatchStandaloneAndStayStable) {
+  const SweepGrid grid = power_grid();
+  TraceStore store;
+  const ScenarioEngine engine(store, engine_config(common::ExecMode::kParallel));
+  const SweepResult sweep = engine.run(grid);
+  ASSERT_EQ(sweep.cells.size(), grid.cell_count());
+
+  // Cell ≡ standalone, including the energy outputs (results_identical
+  // compares energy_joules, max_power_watts, and both power series).
+  for (const CellResult& cell : sweep.cells) {
+    const auto t = store.get(cell.spec.workload.key);
+    const sim::SimConfig cfg = engine.cell_config(cell.spec, *t);
+    EXPECT_EQ(cfg.power_cap_watts, cell.spec.power.cap_watts);
+    const sim::SimResult standalone =
+        sim::ClusterSimulator(t->cluster(), cfg).run(*t);
+    EXPECT_TRUE(results_identical(cell.result, standalone))
+        << cell.spec.label();
+    EXPECT_GT(cell.result.energy_joules, 0.0) << cell.spec.label();
+  }
+
+  // Parallel ≡ serial and repeat-run stability over the power grid.
+  TraceStore ser_store;
+  const SweepResult ser =
+      ScenarioEngine(ser_store, engine_config(common::ExecMode::kSerial))
+          .run(grid);
+  expect_cells_identical(sweep, ser);
+  const SweepResult again = engine.run(grid);
+  expect_cells_identical(sweep, again);
+}
+
+TEST(ScenarioEngine, ComparisonReportSlicesPowerAndReportsEnergy) {
+  const SweepGrid grid = power_grid();
+  TraceStore store;
+  const SweepResult sweep =
+      ScenarioEngine(store, engine_config(common::ExecMode::kParallel))
+          .run(grid);
+  const std::string report = comparison_report(sweep);
+  EXPECT_NE(report.find("Energy (kWh)"), std::string::npos);
+  EXPECT_NE(report.find("power=cap30"), std::string::npos);
+  EXPECT_NE(report.find("POWERCAP"), std::string::npos);
+  EXPECT_NE(report.find("EQSSF"), std::string::npos);
 }
 
 TEST(ScenarioEngine, QssfWithoutProviderThrows) {
